@@ -1,0 +1,201 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * asynchronous vs synchronous store serialization (paper §4.2 argues
+//!   for async);
+//! * per-process sub-graphs vs one shared locked graph (paper §5 argues
+//!   per-process avoids inter-process synchronization);
+//! * selector granularity (cost of tracking more sub-classes);
+//! * Turtle vs N-Triples serialization;
+//! * property-path evaluation: full-relation vs from-source.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use provio::{IoEvent, ObjectDesc, ProvIoConfig, ProvTracker};
+use provio_hpcfs::{FileSystem, LustreConfig};
+use provio_model::{ActivityClass, ClassSelector, EntityClass};
+use provio_rdf::{ntriples, turtle, Graph, Iri, Namespaces, Subject, Term, Triple};
+use provio_simrt::VirtualClock;
+use provio_sparql::path::{eval_path, eval_path_from};
+use provio_sparql::PathExpr;
+use std::sync::Arc;
+
+fn event(i: u64) -> IoEvent {
+    IoEvent {
+        activity: ActivityClass::Write,
+        api_name: "H5Dwrite".to_string(),
+        object: Some(ObjectDesc::hdf5(
+            EntityClass::Dataset,
+            "/f.h5",
+            format!("/d{}", i % 16),
+        )),
+        bytes: 4096,
+        duration_ns: 500,
+        timestamp_ns: i,
+        ok: true,
+    }
+}
+
+fn bench_store_async_vs_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_policy");
+    group.sample_size(10);
+    for (name, async_store) in [("async", true), ("sync", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let fs = FileSystem::new(LustreConfig::default());
+                let mut cfg = ProvIoConfig::default()
+                    .with_record_latency_ns(0)
+                    .with_policy(provio::SerializationPolicy::EveryRecords(256))
+                    .with_selector(ClassSelector::all());
+                cfg.async_store = async_store;
+                let t = ProvTracker::new(cfg.shared(), fs, 0, "b", "b", VirtualClock::new());
+                for i in 0..2_000u64 {
+                    t.track_io(&event(i));
+                }
+                black_box(t.finish());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_subgraph_strategy(c: &mut Criterion) {
+    // Per-process sub-graphs (4 trackers) vs one shared tracker hammered
+    // by 4 threads — the paper's "no extra inter-process communication"
+    // argument.
+    let mut group = c.benchmark_group("subgraph_strategy");
+    group.sample_size(10);
+    group.bench_function("per_process", |b| {
+        b.iter(|| {
+            let fs = FileSystem::new(LustreConfig::default());
+            std::thread::scope(|s| {
+                for pid in 0..4u32 {
+                    let fs = Arc::clone(&fs);
+                    s.spawn(move || {
+                        let t = ProvTracker::new(
+                            ProvIoConfig::default().with_record_latency_ns(0).shared(),
+                            fs,
+                            pid,
+                            "b",
+                            "b",
+                            VirtualClock::new(),
+                        );
+                        for i in 0..2_000u64 {
+                            t.track_io(&event(i));
+                        }
+                        t.finish();
+                    });
+                }
+            });
+        })
+    });
+    group.bench_function("shared_locked", |b| {
+        b.iter(|| {
+            let fs = FileSystem::new(LustreConfig::default());
+            let t = ProvTracker::new(
+                ProvIoConfig::default().with_record_latency_ns(0).shared(),
+                fs,
+                0,
+                "b",
+                "b",
+                VirtualClock::new(),
+            );
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let t = Arc::clone(&t);
+                    s.spawn(move || {
+                        for i in 0..2_000u64 {
+                            t.track_io(&event(i));
+                        }
+                    });
+                }
+            });
+            black_box(t.finish());
+        })
+    });
+    group.finish();
+}
+
+fn bench_selector_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selector_granularity");
+    for (name, sel) in [
+        ("file", ClassSelector::dassa_file_lineage()),
+        ("dataset", ClassSelector::dassa_dataset_lineage()),
+        ("attribute", ClassSelector::dassa_attribute_lineage()),
+        ("all", ClassSelector::all()),
+    ] {
+        let fs = FileSystem::new(LustreConfig::default());
+        let t = ProvTracker::new(
+            ProvIoConfig::default()
+                .with_selector(sel)
+                .with_record_latency_ns(0)
+                .shared(),
+            fs,
+            0,
+            "b",
+            "b",
+            VirtualClock::new(),
+        );
+        let mut i = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                i += 1;
+                t.track_io(black_box(&event(i)));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialization_formats(c: &mut Criterion) {
+    let mut g = Graph::new();
+    for i in 0..20_000 {
+        g.insert(&Triple::new(
+            Subject::iri(format!("urn:provio:act/a{i}")),
+            Iri::new("https://github.com/hpc-io/prov-io#elapsed"),
+            Term::iri(format!("urn:provio:obj/o{}", i % 128)),
+        ));
+    }
+    let nss = Namespaces::standard();
+    let mut group = c.benchmark_group("rdf_format");
+    group.bench_function("turtle", |b| b.iter(|| black_box(turtle::serialize(&g, &nss))));
+    group.bench_function("ntriples", |b| b.iter(|| black_box(ntriples::serialize(&g))));
+    group.finish();
+}
+
+fn bench_path_strategies(c: &mut Criterion) {
+    // A derivation chain of 512 nodes with fan-in 2.
+    let mut g = Graph::new();
+    let p = Iri::new("http://www.w3.org/ns/prov#wasDerivedFrom");
+    for i in 1..512u32 {
+        g.insert(&Triple::new(
+            Subject::iri(format!("urn:n{i}")),
+            p.clone(),
+            Term::iri(format!("urn:n{}", i / 2)),
+        ));
+    }
+    let path = PathExpr::OneOrMore(Box::new(PathExpr::Iri(p)));
+    let start = Term::iri("urn:n511");
+    let mut group = c.benchmark_group("path_eval");
+    group.bench_function("full_relation", |b| {
+        b.iter(|| black_box(eval_path(&g, &path)).len())
+    });
+    group.bench_function("from_source", |b| {
+        b.iter(|| black_box(eval_path_from(&g, &path, &start)).len())
+    });
+    group.finish();
+}
+
+fn fast_criterion() -> Criterion {
+    // Keep `cargo bench --workspace` minutes-scale: shorter windows, same
+    // statistical machinery.
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_criterion();
+    targets = bench_store_async_vs_sync, bench_subgraph_strategy, bench_selector_granularity, bench_serialization_formats, bench_path_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Workflow-level benches: real (host) execution time of small instances
+//! of the three evaluation workflows, baseline vs tracked. These measure
+//! the *harness's* wall-clock cost; the paper's completion times are
+//! virtual and come from the `experiments` binary.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use provio::ProvIoConfig;
+use provio_model::ClassSelector;
+use provio_simrt::SimDuration;
+use provio_workflows::{dassa, h5bench, topreco, Cluster, ProvMode};
+
+fn topreco_params(mode: ProvMode) -> topreco::TopRecoParams {
+    topreco::TopRecoParams {
+        epochs: 5,
+        n_configs: 10,
+        n_events: 10_000,
+        epoch_compute: SimDuration::from_secs(10),
+        seed: 3,
+        mode,
+        run_id: 0,
+    }
+}
+
+fn dassa_params(mode: ProvMode) -> dassa::DassaParams {
+    dassa::DassaParams {
+        n_files: 8,
+        nodes: 4,
+        file_mib: 32,
+        channels: 16,
+        datasets: 2,
+        seed: 1,
+        mode,
+    }
+}
+
+fn h5bench_params(mode: ProvMode) -> h5bench::H5benchParams {
+    h5bench::H5benchParams {
+        ranks: 8,
+        pattern: h5bench::IoPattern::WriteRead,
+        steps: 2,
+        particles_per_rank: 1 << 12,
+        blocks: 2,
+        compute_per_step: SimDuration::from_secs(25),
+        seed: 5,
+        mode,
+    }
+}
+
+fn bench_workflows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workflows");
+    group.sample_size(10);
+
+    group.bench_function("topreco_baseline", |b| {
+        b.iter(|| black_box(topreco::run(&Cluster::new(), &topreco_params(ProvMode::Off))))
+    });
+    group.bench_function("topreco_provio", |b| {
+        b.iter(|| {
+            black_box(topreco::run(
+                &Cluster::new(),
+                &topreco_params(ProvMode::provio(
+                    ProvIoConfig::default().with_selector(ClassSelector::topreco()),
+                )),
+            ))
+        })
+    });
+
+    group.bench_function("dassa_baseline", |b| {
+        b.iter(|| black_box(dassa::run(&Cluster::new(), &dassa_params(ProvMode::Off))))
+    });
+    group.bench_function("dassa_provio_attr", |b| {
+        b.iter(|| {
+            black_box(dassa::run(
+                &Cluster::new(),
+                &dassa_params(ProvMode::provio(
+                    ProvIoConfig::default()
+                        .with_selector(ClassSelector::dassa_attribute_lineage()),
+                )),
+            ))
+        })
+    });
+
+    group.bench_function("h5bench_baseline", |b| {
+        b.iter(|| black_box(h5bench::run(&Cluster::new(), &h5bench_params(ProvMode::Off))))
+    });
+    group.bench_function("h5bench_provio_s2", |b| {
+        b.iter(|| {
+            black_box(h5bench::run(
+                &Cluster::new(),
+                &h5bench_params(ProvMode::provio(
+                    ProvIoConfig::default().with_selector(ClassSelector::h5bench_scenario2()),
+                )),
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+fn fast_criterion() -> Criterion {
+    // Keep `cargo bench --workspace` minutes-scale: shorter windows, same
+    // statistical machinery.
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_criterion();
+    targets = bench_workflows
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Microbenchmarks for the RDF substrate (the Redland librdf substitute):
+//! insert throughput, serialization, parsing, and SPARQL evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use provio_rdf::{turtle, Graph, Iri, Literal, Namespaces, Subject, Term, Triple};
+use provio_sparql::Query;
+
+fn synthetic_graph(n_subjects: usize) -> Graph {
+    let mut g = Graph::new();
+    for i in 0..n_subjects {
+        let s = Subject::iri(format!("urn:provio:act/H5Dwrite-p0-{i}"));
+        g.insert(&Triple::new(
+            s.clone(),
+            Iri::new("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+            Term::iri("https://github.com/hpc-io/prov-io#Write"),
+        ));
+        g.insert(&Triple::new(
+            s.clone(),
+            Iri::new("https://github.com/hpc-io/prov-io#elapsed"),
+            Literal::integer(i as i64),
+        ));
+        g.insert(&Triple::new(
+            s,
+            Iri::new("https://github.com/hpc-io/prov-io#wasWrittenBy"),
+            Term::iri(format!("urn:provio:obj/dataset/d{}", i % 64)),
+        ));
+    }
+    g
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_insert");
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(synthetic_graph(n)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let g = synthetic_graph(10_000);
+    let nss = Namespaces::standard();
+    c.bench_function("turtle_serialize_30k_triples", |b| {
+        b.iter(|| black_box(turtle::serialize(&g, &nss)));
+    });
+    let ttl = turtle::serialize(&g, &nss);
+    c.bench_function("turtle_parse_30k_triples", |b| {
+        b.iter(|| black_box(turtle::parse(&ttl).unwrap()));
+    });
+}
+
+fn bench_query(c: &mut Criterion) {
+    let g = synthetic_graph(10_000);
+    let by_type = Query::parse(
+        "SELECT ?a WHERE { ?a a <https://github.com/hpc-io/prov-io#Write> . }",
+    )
+    .unwrap();
+    c.bench_function("sparql_type_scan", |b| {
+        b.iter(|| black_box(by_type.execute(&g)).len());
+    });
+    let join = Query::parse(
+        "SELECT ?a ?d WHERE { ?a <https://github.com/hpc-io/prov-io#wasWrittenBy> ?o . \
+         ?a <https://github.com/hpc-io/prov-io#elapsed> ?d . FILTER(?d < 100) }",
+    )
+    .unwrap();
+    c.bench_function("sparql_join_filter", |b| {
+        b.iter(|| black_box(join.execute(&g)).len());
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    // Keep `cargo bench --workspace` minutes-scale: shorter windows, same
+    // statistical machinery.
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_criterion();
+    targets = bench_insert, bench_serialize, bench_query
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Microbenchmarks for the tracking hot path: the real cost of one tracked
+//! I/O event (the quantity charged to workflow clocks), with and without
+//! the modeled Redland-latency constant, plus the filtered (disabled) path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use provio::{IoEvent, ObjectDesc, ProvIoConfig, ProvTracker};
+use provio_hpcfs::{FileSystem, LustreConfig};
+use provio_model::{ActivityClass, ClassSelector, EntityClass};
+use provio_simrt::VirtualClock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn event(i: u64) -> IoEvent {
+    IoEvent {
+        activity: ActivityClass::Write,
+        api_name: "H5Dwrite".to_string(),
+        object: Some(ObjectDesc::hdf5(
+            EntityClass::Dataset,
+            "/f.h5",
+            format!("/Timestep_0/d{}", i % 32),
+        )),
+        bytes: 8192,
+        duration_ns: 1000,
+        timestamp_ns: i,
+        ok: true,
+    }
+}
+
+fn tracker(selector: ClassSelector, latency: u64) -> Arc<ProvTracker> {
+    let fs = FileSystem::new(LustreConfig::default());
+    ProvTracker::new(
+        ProvIoConfig::default()
+            .with_selector(selector)
+            .with_record_latency_ns(latency)
+            .shared(),
+        fs,
+        0,
+        "bench",
+        "bench",
+        VirtualClock::new(),
+    )
+}
+
+fn bench_track_io(c: &mut Criterion) {
+    let t = tracker(ClassSelector::all(), 0);
+    let i = AtomicU64::new(0);
+    c.bench_function("track_io_native_cost", |b| {
+        b.iter(|| {
+            t.track_io(black_box(&event(i.fetch_add(1, Ordering::Relaxed))));
+        });
+    });
+
+    // Disabled classes: the cost of an event the selector filters out.
+    let t_off = tracker(ClassSelector::topreco(), 0);
+    c.bench_function("track_io_filtered", |b| {
+        b.iter(|| {
+            t_off.track_io(black_box(&event(1)));
+        });
+    });
+}
+
+fn bench_explicit_apis(c: &mut Criterion) {
+    let t = tracker(ClassSelector::topreco(), 0);
+    let i = AtomicU64::new(0);
+    c.bench_function("track_metric", |b| {
+        b.iter(|| {
+            t.track_metric("accuracy", black_box(0.5 + (i.fetch_add(1, Ordering::Relaxed) % 100) as f64 / 1000.0));
+        });
+    });
+}
+
+fn bench_finish(c: &mut Criterion) {
+    c.bench_function("tracker_finish_10k_events", |b| {
+        b.iter_with_setup(
+            || {
+                let t = tracker(ClassSelector::all(), 0);
+                for i in 0..10_000 {
+                    t.track_io(&event(i));
+                }
+                t
+            },
+            |t| black_box(t.finish()),
+        );
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    // Keep `cargo bench --workspace` minutes-scale: shorter windows, same
+    // statistical machinery.
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_criterion();
+    targets = bench_track_io, bench_explicit_apis, bench_finish
+}
+criterion_main!(benches);

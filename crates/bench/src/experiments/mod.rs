@@ -1,0 +1,45 @@
+//! One runner per paper artifact. See DESIGN.md §5 for the experiment
+//! index and EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+
+pub mod dags;
+pub mod fig6a7a;
+pub mod fig6b7b;
+pub mod fig8;
+pub mod fig9;
+pub mod h5bench_figs;
+pub mod tables;
+
+use crate::report::Report;
+use crate::scale::Scale;
+
+/// All experiment ids, in paper order.
+pub const ALL_IDS: [&str; 13] = [
+    "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig7a", "fig7b", "fig7c", "fig7d", "fig7e",
+    "fig8", "fig9", "tables",
+];
+
+/// Run one experiment id (figures 6/7 run in pairs because one sweep
+/// yields both time and storage). Returns every report the id produces.
+pub fn run_id(id: &str, scale: Scale) -> Option<Vec<Report>> {
+    match id {
+        "fig6a" | "fig7a" => Some(fig6a7a::run(scale)),
+        "fig6b" | "fig7b" => Some(fig6b7b::run(scale)),
+        "fig6c" | "fig7c" => Some(h5bench_figs::run_pattern(
+            scale,
+            provio_workflows::h5bench::IoPattern::WriteRead,
+        )),
+        "fig6d" | "fig7d" => Some(h5bench_figs::run_pattern(
+            scale,
+            provio_workflows::h5bench::IoPattern::WriteOverwriteRead,
+        )),
+        "fig6e" | "fig7e" => Some(h5bench_figs::run_pattern(
+            scale,
+            provio_workflows::h5bench::IoPattern::WriteAppendRead,
+        )),
+        "fig8" => Some(fig8::run(scale)),
+        "fig9" => Some(fig9::run(scale)),
+        "tables" | "tab3" | "tab4" | "tab5" => Some(tables::run(scale)),
+        "dags" | "fig1" | "fig3" => Some(dags::run()),
+        _ => None,
+    }
+}

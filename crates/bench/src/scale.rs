@@ -1,0 +1,106 @@
+//! Experiment scale presets.
+
+/// How big to run the sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale: the paper's axes at 1/4 extent. Shapes (ratios,
+    /// orderings, crossovers) are preserved; absolute counts are smaller.
+    Quick,
+    /// The paper's axis extents: DASSA up to 2048 input files on 32 nodes,
+    /// H5bench up to 4096 ranks (64 for append), Top Reco up to 100 epochs.
+    Paper,
+}
+
+impl Scale {
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// Top Reco epoch sweep (Figure 6(a)/7(a) x-axis).
+    pub fn topreco_epochs(self) -> Vec<u32> {
+        match self {
+            Scale::Quick => vec![5, 10, 15, 20, 25],
+            Scale::Paper => vec![20, 40, 60, 80, 100],
+        }
+    }
+
+    /// DASSA input-file sweep (Figure 6(b)/7(b) x-axis).
+    pub fn dassa_files(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![32, 64, 128, 256, 512],
+            Scale::Paper => vec![128, 256, 512, 1024, 2048],
+        }
+    }
+
+    /// H5bench rank sweep for write+read / write+overwrite+read.
+    pub fn h5bench_ranks(self) -> Vec<u32> {
+        match self {
+            Scale::Quick => vec![32, 64, 128, 256, 1024],
+            Scale::Paper => vec![128, 256, 512, 1024, 4096],
+        }
+    }
+
+    /// H5bench rank sweep for write+append+read (the paper drops to 2–64
+    /// ranks because appends exhaust memory at scale).
+    pub fn h5bench_append_ranks(self) -> Vec<u32> {
+        match self {
+            Scale::Quick => vec![2, 4, 8, 16, 64],
+            Scale::Paper => vec![2, 8, 16, 32, 64],
+        }
+    }
+
+    /// Figure 8 configuration counts (the paper's 20/40/80).
+    pub fn fig8_configs(self) -> Vec<usize> {
+        vec![20, 40, 80]
+    }
+
+    /// Figure 8 epoch sweep per panel (virtual time — same at both scales;
+    /// Top Reco trains for tens of epochs in the paper's regime).
+    pub fn fig8_epochs(self) -> Vec<u32> {
+        vec![20, 40, 80]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+        assert_eq!(Scale::Paper.name(), "paper");
+    }
+
+    #[test]
+    fn paper_extents_match_evaluation_section() {
+        assert_eq!(*Scale::Paper.dassa_files().last().unwrap(), 2048);
+        assert_eq!(*Scale::Paper.h5bench_ranks().last().unwrap(), 4096);
+        assert_eq!(*Scale::Paper.h5bench_append_ranks().last().unwrap(), 64);
+        assert_eq!(Scale::Paper.fig8_configs(), vec![20, 40, 80]);
+    }
+
+    #[test]
+    fn quick_is_strictly_smaller() {
+        assert!(
+            Scale::Quick.dassa_files().last().unwrap()
+                < Scale::Paper.dassa_files().last().unwrap()
+        );
+        assert!(
+            Scale::Quick.h5bench_ranks().last().unwrap()
+                <= Scale::Paper.h5bench_ranks().last().unwrap()
+        );
+    }
+}

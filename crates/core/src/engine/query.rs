@@ -1,0 +1,612 @@
+//! Query interface: SPARQL endpoint plus canned provenance queries.
+//!
+//! The paper answers every provenance need with a few SPARQL statements
+//! (Table 5). This engine embeds the `provio-sparql` evaluator and adds the
+//! backward-lineage derivation DASSA's use case walks: a data product is
+//! derived from every object its producing program read.
+
+use provio_model::{ontology, ActivityClass, AgentClass, EntityClass, Guid, Relation};
+use provio_rdf::{ns, Graph, Iri, Literal, Subject, Term, Triple};
+use provio_sparql::{Query, QueryError, Solutions};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Query engine over a (merged) provenance graph.
+pub struct ProvQueryEngine {
+    graph: Graph,
+}
+
+impl ProvQueryEngine {
+    pub fn new(graph: Graph) -> Self {
+        ProvQueryEngine { graph }
+    }
+
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Run a SPARQL SELECT query.
+    pub fn sparql(&self, query: &str) -> Result<Solutions, QueryError> {
+        Ok(Query::parse(query)?.execute(&self.graph))
+    }
+
+    /// Find the entity whose `rdfs:label` is exactly `label`.
+    pub fn entity_by_label(&self, label: &str) -> Option<Guid> {
+        self.graph
+            .subjects_with(
+                &Iri::new(ns::RDFS_LABEL),
+                &Term::Literal(Literal::plain(label)),
+            )
+            .into_iter()
+            .find_map(|s| match s {
+                Subject::Iri(i) => Guid::from_iri(&i),
+                Subject::Blank(_) => None,
+            })
+    }
+
+    /// Saturate the graph with `prov:wasDerivedFrom` edges between data
+    /// objects: for every program, everything it wrote derives from
+    /// everything it read (the inference behind the paper's backward
+    /// lineage walk, §6.5).
+    ///
+    /// Returns the number of derivation edges added.
+    pub fn derive_lineage(&mut self) -> usize {
+        // program → (inputs, outputs)
+        let mut io_by_program: HashMap<Guid, (HashSet<Guid>, HashSet<Guid>)> = HashMap::new();
+
+        // Entities relate to activities via wasReadBy / wasWrittenBy /
+        // wasCreatedBy …; activities relate to programs via
+        // wasAssociatedWith.
+        let assoc = Iri::new(Relation::WasAssociatedWith.iri());
+        let mut program_of_activity: HashMap<Term, Guid> = HashMap::new();
+        for t in self.graph.match_pattern(
+            &provio_rdf::TriplePattern::any().with_predicate(assoc.clone()),
+        ) {
+            if let Some(g) = t.object.as_iri().and_then(Guid::from_iri) {
+                program_of_activity.insert(Term::from(t.subject), g);
+            }
+        }
+
+        let read_like = [Relation::WasReadBy, Relation::WasOpenedBy];
+        let write_like = [
+            Relation::WasWrittenBy,
+            Relation::WasCreatedBy,
+            Relation::WasFlushedBy,
+            Relation::WasModifiedBy,
+        ];
+        for (rels, is_input) in [(&read_like[..], true), (&write_like[..], false)] {
+            for rel in rels {
+                let p = Iri::new(rel.iri());
+                for t in self
+                    .graph
+                    .match_pattern(&provio_rdf::TriplePattern::any().with_predicate(p))
+                {
+                    let Some(entity) = t.subject.as_iri().and_then(Guid::from_iri) else {
+                        continue;
+                    };
+                    let Some(program) = program_of_activity.get(&t.object) else {
+                        continue;
+                    };
+                    let slot = io_by_program
+                        .entry(program.clone())
+                        .or_default();
+                    if is_input {
+                        slot.0.insert(entity);
+                    } else {
+                        slot.1.insert(entity);
+                    }
+                }
+            }
+        }
+
+        let derived = Iri::new(Relation::WasDerivedFrom.iri());
+        let mut added = 0;
+        for (_program, (inputs, outputs)) in io_by_program {
+            for out in &outputs {
+                for inp in &inputs {
+                    if out == inp {
+                        continue;
+                    }
+                    let t = Triple::new(
+                        out.to_subject(),
+                        derived.clone(),
+                        Term::Iri(inp.to_iri()),
+                    );
+                    if self.graph.insert(&t) {
+                        added += 1;
+                    }
+                }
+            }
+        }
+        added
+    }
+
+    /// Transitive backward lineage of an entity (BFS over
+    /// `prov:wasDerivedFrom`), nearest first.
+    pub fn backward_lineage(&self, entity: &Guid) -> Vec<Guid> {
+        let derived = Iri::new(Relation::WasDerivedFrom.iri());
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([entity.clone()]);
+        let mut out = Vec::new();
+        while let Some(cur) = queue.pop_front() {
+            for obj in self.graph.objects(&cur.to_subject(), &derived) {
+                if let Some(g) = obj.as_iri().and_then(Guid::from_iri) {
+                    if seen.insert(g.clone()) {
+                        out.push(g.clone());
+                        queue.push_back(g);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Provenance reduction (the database-style optimization the paper
+    /// cites as applicable, §7): collapse all I/O-API activity nodes that
+    /// are equivalent for lineage purposes — same API label, same
+    /// associated agents, same set of (relation, data-object) edges — into
+    /// one representative node carrying an occurrence count and summed
+    /// duration/bytes. Lineage queries return identical answers on the
+    /// reduced graph; per-invocation timelines are lost (by design).
+    ///
+    /// Returns (activities before, activities after).
+    pub fn reduce_activities(&mut self) -> (usize, usize) {
+        use provio_model::{ActivityClass, PropKey, PropValue};
+
+        // Group activities by their lineage-equivalence signature.
+        let mut groups: HashMap<String, Vec<Guid>> = HashMap::new();
+        let mut incoming: HashMap<Guid, Vec<(Subject, Iri)>> = HashMap::new();
+        for class in ActivityClass::ALL {
+            for act in ontology::nodes_of_class(&self.graph, class.into()) {
+                let node = match ontology::node_from_graph(&self.graph, &act) {
+                    Some(n) => n,
+                    None => continue,
+                };
+                let mut out_edges: Vec<String> = ontology::relations_from_graph(&self.graph, &act)
+                    .into_iter()
+                    .map(|(r, g)| format!("{}→{}", r.local_name(), g))
+                    .collect();
+                out_edges.sort();
+                // Incoming edges (entity —wasReadBy→ activity etc.).
+                let mut in_edges: Vec<String> = Vec::new();
+                let mut in_raw: Vec<(Subject, Iri)> = Vec::new();
+                for rel in Relation::ALL {
+                    let p = Iri::new(rel.iri());
+                    for s in self
+                        .graph
+                        .subjects_with(&p, &Term::Iri(act.to_iri()))
+                    {
+                        in_edges.push(format!("{}←{}", rel.local_name(), s));
+                        in_raw.push((s, p.clone()));
+                    }
+                }
+                in_edges.sort();
+                incoming.insert(act.clone(), in_raw);
+                let sig = format!(
+                    "{}|{}|{}|{}",
+                    class.local_name(),
+                    node.label,
+                    out_edges.join(";"),
+                    in_edges.join(";")
+                );
+                groups.entry(sig).or_default().push(act);
+            }
+        }
+
+        let before: usize = groups.values().map(Vec::len).sum();
+        let mut after = 0usize;
+        for (_, mut members) in groups {
+            members.sort();
+            after += 1;
+            if members.len() < 2 {
+                continue;
+            }
+            let keep = members[0].clone();
+            // Aggregate numeric properties onto the representative.
+            let mut count = 0i64;
+            let mut total_ns = 0i64;
+            let mut total_bytes = 0i64;
+            for m in &members {
+                if let Some(n) = ontology::node_from_graph(&self.graph, m) {
+                    count += 1;
+                    if let Some(PropValue::Int(v)) = n.prop(PropKey::ElapsedNs) {
+                        total_ns += v;
+                    }
+                    if let Some(PropValue::Int(v)) = n.prop(PropKey::Bytes) {
+                        total_bytes += v;
+                    }
+                }
+            }
+            // Drop the duplicates and their edges.
+            for m in &members[1..] {
+                let subject = m.to_subject();
+                for t in self
+                    .graph
+                    .match_pattern(&provio_rdf::TriplePattern::any().with_subject(subject.clone()))
+                {
+                    self.graph.remove(&t);
+                }
+                if let Some(edges) = incoming.get(m) {
+                    for (s, p) in edges {
+                        self.graph.remove(&Triple::new(
+                            s.clone(),
+                            p.clone(),
+                            Term::Iri(m.to_iri()),
+                        ));
+                        // Re-point at the representative (idempotent).
+                        self.graph.insert(&Triple::new(
+                            s.clone(),
+                            p.clone(),
+                            Term::Iri(keep.to_iri()),
+                        ));
+                    }
+                }
+            }
+            // Replace the representative's per-invocation numbers with
+            // aggregates.
+            let subject = keep.to_subject();
+            for key in [PropKey::ElapsedNs, PropKey::Bytes, PropKey::TimestampNs] {
+                for t in self.graph.match_pattern(
+                    &provio_rdf::TriplePattern::any()
+                        .with_subject(subject.clone())
+                        .with_predicate(Iri::new(key.iri())),
+                ) {
+                    self.graph.remove(&t);
+                }
+            }
+            self.graph.insert(&Triple::new(
+                subject.clone(),
+                Iri::new(format!("{}occurrences", provio_rdf::ns::PROVIO)),
+                Literal::integer(count),
+            ));
+            if total_ns > 0 {
+                self.graph.insert(&Triple::new(
+                    subject.clone(),
+                    Iri::new(PropKey::ElapsedNs.iri()),
+                    Literal::integer(total_ns),
+                ));
+            }
+            if total_bytes > 0 {
+                self.graph.insert(&Triple::new(
+                    subject,
+                    Iri::new(PropKey::Bytes.iri()),
+                    Literal::integer(total_bytes),
+                ));
+            }
+        }
+        (before, after)
+    }
+
+    /// Transitive *forward* lineage: everything derived from `entity`
+    /// (impact analysis — "which products must be regenerated if this
+    /// input was bad?").
+    pub fn forward_lineage(&self, entity: &Guid) -> Vec<Guid> {
+        let derived = Iri::new(Relation::WasDerivedFrom.iri());
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([entity.clone()]);
+        let mut out = Vec::new();
+        while let Some(cur) = queue.pop_front() {
+            for subj in self
+                .graph
+                .subjects_with(&derived, &Term::Iri(cur.to_iri()))
+            {
+                let Subject::Iri(i) = subj else { continue };
+                if let Some(g) = Guid::from_iri(&i) {
+                    if seen.insert(g.clone()) {
+                        out.push(g.clone());
+                        queue.push_back(g);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Programs an entity is attributed to (Table 5 q1).
+    pub fn programs_of(&self, entity: &Guid) -> Vec<Guid> {
+        self.related(entity, Relation::WasAttributedTo)
+    }
+
+    /// Threads a program acted on behalf of (Table 5 q8).
+    pub fn threads_of(&self, program: &Guid) -> Vec<Guid> {
+        self.related(program, Relation::ActedOnBehalfOf)
+    }
+
+    /// Users a thread acted on behalf of (Table 5 q9).
+    pub fn users_of(&self, thread: &Guid) -> Vec<Guid> {
+        self.related(thread, Relation::ActedOnBehalfOf)
+    }
+
+    fn related(&self, subject: &Guid, rel: Relation) -> Vec<Guid> {
+        self.graph
+            .objects(&subject.to_subject(), &Iri::new(rel.iri()))
+            .into_iter()
+            .filter_map(|t| t.as_iri().and_then(Guid::from_iri))
+            .collect()
+    }
+
+    /// Node label.
+    pub fn label_of(&self, id: &Guid) -> Option<String> {
+        self.graph
+            .objects(&id.to_subject(), &Iri::new(ns::RDFS_LABEL))
+            .into_iter()
+            .find_map(|t| t.as_literal().map(|l| l.lexical().to_string()))
+    }
+
+    /// The full chain for H5bench scenario 3: file → programs → threads →
+    /// users, as labels.
+    pub fn access_chain(&self, file_label: &str) -> Vec<(String, String, String)> {
+        let Some(file) = self.entity_by_label(file_label) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for prog in self.programs_of(&file) {
+            let p = self.label_of(&prog).unwrap_or_default();
+            for th in self.threads_of(&prog) {
+                let t = self.label_of(&th).unwrap_or_default();
+                for u in self.users_of(&th) {
+                    out.push((p.clone(), t.clone(), self.label_of(&u).unwrap_or_default()));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Count of activity nodes per I/O API class (H5bench scenario 1).
+    pub fn io_api_counts(&self) -> Vec<(ActivityClass, usize)> {
+        ActivityClass::ALL
+            .into_iter()
+            .map(|c| {
+                (
+                    c,
+                    ontology::nodes_of_class(&self.graph, c.into()).len(),
+                )
+            })
+            .collect()
+    }
+
+    /// All entities of a class, with labels.
+    pub fn entities(&self, class: EntityClass) -> Vec<(Guid, String)> {
+        let mut v: Vec<(Guid, String)> = ontology::nodes_of_class(&self.graph, class.into())
+            .into_iter()
+            .map(|g| {
+                let l = self.label_of(&g).unwrap_or_default();
+                (g, l)
+            })
+            .collect();
+        v.sort_by(|a, b| a.1.cmp(&b.1));
+        v
+    }
+
+    /// All agents of a class, with labels.
+    pub fn agents(&self, class: AgentClass) -> Vec<(Guid, String)> {
+        let mut v: Vec<(Guid, String)> = ontology::nodes_of_class(&self.graph, class.into())
+            .into_iter()
+            .map(|g| {
+                let l = self.label_of(&g).unwrap_or_default();
+                (g, l)
+            })
+            .collect();
+        v.sort_by(|a, b| a.1.cmp(&b.1));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provio_rdf::turtle;
+
+    /// A hand-built DASSA-shaped provenance graph:
+    /// WestSac.tdms --tdms2h5--> WestSac.h5 --decimate--> decimate.h5
+    fn dassa_graph() -> Graph {
+        let ttl = r#"
+        @prefix prov: <http://www.w3.org/ns/prov#> .
+        @prefix provio: <https://github.com/hpc-io/prov-io#> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+        <urn:provio:agent/program/tdms2h5> a provio:Program ; rdfs:label "tdms2h5" ;
+            prov:actedOnBehalfOf <urn:provio:agent/thread/t0> .
+        <urn:provio:agent/program/decimate> a provio:Program ; rdfs:label "decimate" ;
+            prov:actedOnBehalfOf <urn:provio:agent/thread/t0> .
+        <urn:provio:agent/thread/t0> a provio:Thread ; rdfs:label "rank0" ;
+            prov:actedOnBehalfOf <urn:provio:agent/user/UserA> .
+        <urn:provio:agent/user/UserA> a provio:User ; rdfs:label "UserA" .
+
+        <urn:provio:act/read-1> a provio:Read ; rdfs:label "read" ;
+            prov:wasAssociatedWith <urn:provio:agent/program/tdms2h5> .
+        <urn:provio:act/write-1> a provio:Write ; rdfs:label "write" ;
+            prov:wasAssociatedWith <urn:provio:agent/program/tdms2h5> .
+        <urn:provio:act/read-2> a provio:Read ; rdfs:label "H5Dread" ;
+            prov:wasAssociatedWith <urn:provio:agent/program/decimate> .
+        <urn:provio:act/write-2> a provio:Write ; rdfs:label "H5Dwrite" ;
+            prov:wasAssociatedWith <urn:provio:agent/program/decimate> .
+
+        <urn:provio:obj/file/WestSac.tdms> a provio:File ; rdfs:label "/WestSac.tdms" ;
+            provio:wasReadBy <urn:provio:act/read-1> .
+        <urn:provio:obj/file/WestSac.h5> a provio:File ; rdfs:label "/WestSac.h5" ;
+            provio:wasWrittenBy <urn:provio:act/write-1> ;
+            provio:wasReadBy <urn:provio:act/read-2> ;
+            prov:wasAttributedTo <urn:provio:agent/program/tdms2h5> .
+        <urn:provio:obj/file/decimate.h5> a provio:File ; rdfs:label "/decimate.h5" ;
+            provio:wasWrittenBy <urn:provio:act/write-2> ;
+            prov:wasAttributedTo <urn:provio:agent/program/decimate> .
+        "#;
+        turtle::parse(ttl).unwrap().0
+    }
+
+    #[test]
+    fn lineage_derivation_and_backward_walk() {
+        let mut eng = ProvQueryEngine::new(dassa_graph());
+        let added = eng.derive_lineage();
+        assert!(added >= 2, "added {added}");
+        let product = eng.entity_by_label("/decimate.h5").unwrap();
+        let lineage = eng.backward_lineage(&product);
+        let labels: Vec<String> = lineage
+            .iter()
+            .map(|g| eng.label_of(g).unwrap())
+            .collect();
+        assert_eq!(labels, vec!["/WestSac.h5", "/WestSac.tdms"]);
+    }
+
+    #[test]
+    fn derive_lineage_is_idempotent() {
+        let mut eng = ProvQueryEngine::new(dassa_graph());
+        let first = eng.derive_lineage();
+        let second = eng.derive_lineage();
+        assert!(first > 0);
+        assert_eq!(second, 0);
+    }
+
+    #[test]
+    fn table5_q1_attribution_query() {
+        let eng = ProvQueryEngine::new(dassa_graph());
+        let sols = eng
+            .sparql(
+                "SELECT ?program WHERE { \
+                   <urn:provio:obj/file/decimate.h5> prov:wasAttributedTo ?program . }",
+            )
+            .unwrap();
+        assert_eq!(sols.len(), 1);
+        assert!(sols.rows[0]["program"].to_string().contains("decimate"));
+    }
+
+    #[test]
+    fn table5_q7_to_q9_access_chain() {
+        let eng = ProvQueryEngine::new(dassa_graph());
+        let product = eng.entity_by_label("/decimate.h5").unwrap();
+        let progs = eng.programs_of(&product);
+        assert_eq!(progs.len(), 1);
+        let threads = eng.threads_of(&progs[0]);
+        assert_eq!(threads.len(), 1);
+        let users = eng.users_of(&threads[0]);
+        assert_eq!(eng.label_of(&users[0]).unwrap(), "UserA");
+
+        let chain = eng.access_chain("/decimate.h5");
+        assert_eq!(chain, vec![("decimate".into(), "rank0".into(), "UserA".into())]);
+    }
+
+    #[test]
+    fn io_api_counts_by_class() {
+        let eng = ProvQueryEngine::new(dassa_graph());
+        let counts: HashMap<ActivityClass, usize> =
+            eng.io_api_counts().into_iter().collect();
+        assert_eq!(counts[&ActivityClass::Read], 2);
+        assert_eq!(counts[&ActivityClass::Write], 2);
+        assert_eq!(counts[&ActivityClass::Fsync], 0);
+    }
+
+    #[test]
+    fn sparql_transitive_lineage_path_query() {
+        let mut eng = ProvQueryEngine::new(dassa_graph());
+        eng.derive_lineage();
+        let sols = eng
+            .sparql(
+                "SELECT ?origin WHERE { \
+                   <urn:provio:obj/file/decimate.h5> prov:wasDerivedFrom+ ?origin . }",
+            )
+            .unwrap();
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn entity_listing_sorted() {
+        let eng = ProvQueryEngine::new(dassa_graph());
+        let files = eng.entities(EntityClass::File);
+        let labels: Vec<&str> = files.iter().map(|(_, l)| l.as_str()).collect();
+        assert_eq!(labels, vec!["/WestSac.h5", "/WestSac.tdms", "/decimate.h5"]);
+        let programs = eng.agents(AgentClass::Program);
+        assert_eq!(programs.len(), 2);
+    }
+
+    #[test]
+    fn reduction_preserves_lineage_answers() {
+        // Build a graph where one program read the same file 50 times.
+        let mut g = Graph::new();
+        let ttl_head = r#"
+            @prefix prov: <http://www.w3.org/ns/prov#> .
+            @prefix provio: <https://github.com/hpc-io/prov-io#> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            <urn:provio:agent/program/p> a provio:Program ; rdfs:label "p" .
+            <urn:provio:obj/file/in> a provio:File ; rdfs:label "/in" .
+            <urn:provio:obj/file/out> a provio:File ; rdfs:label "/out" ;
+                prov:wasAttributedTo <urn:provio:agent/program/p> ;
+                provio:wasWrittenBy <urn:provio:act/w-0> .
+            <urn:provio:act/w-0> a provio:Write ; rdfs:label "write" ;
+                prov:wasAssociatedWith <urn:provio:agent/program/p> .
+        "#;
+        provio_rdf::turtle::parse_into(ttl_head, &mut g).unwrap();
+        for i in 0..50 {
+            let frag = format!(
+                "@prefix prov: <http://www.w3.org/ns/prov#> . \
+                 @prefix provio: <https://github.com/hpc-io/prov-io#> . \
+                 @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> . \
+                 <urn:provio:act/r-{i}> a provio:Read ; rdfs:label \"read\" ; \
+                   provio:elapsed {} ; \
+                   prov:wasAssociatedWith <urn:provio:agent/program/p> . \
+                 <urn:provio:obj/file/in> provio:wasReadBy <urn:provio:act/r-{i}> .",
+                100 + i
+            );
+            provio_rdf::turtle::parse_into(&frag, &mut g).unwrap();
+        }
+
+        let mut eng = ProvQueryEngine::new(g);
+        let before_len = eng.graph().len();
+        let (before, after) = eng.reduce_activities();
+        assert_eq!(before, 51, "50 reads + 1 write");
+        assert_eq!(after, 2, "one representative per equivalence class");
+        assert!(eng.graph().len() < before_len);
+
+        // Lineage still derivable and identical.
+        eng.derive_lineage();
+        let out = eng.entity_by_label("/out").unwrap();
+        let lineage = eng.backward_lineage(&out);
+        assert_eq!(lineage.len(), 1);
+        assert_eq!(eng.label_of(&lineage[0]).unwrap(), "/in");
+        // The representative read carries the aggregate count + duration.
+        let sols = eng
+            .sparql(
+                "SELECT ?n ?d WHERE { ?a a provio:Read ; \
+                   provio:occurrences ?n ; provio:elapsed ?d . }",
+            )
+            .unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols.rows[0]["n"].as_literal().unwrap().as_i64(), Some(50));
+        let total: i64 = (0..50).map(|i| 100 + i).sum();
+        assert_eq!(
+            sols.rows[0]["d"].as_literal().unwrap().as_i64(),
+            Some(total)
+        );
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        let mut eng = ProvQueryEngine::new(dassa_graph());
+        let (b1, a1) = eng.reduce_activities();
+        let (b2, a2) = eng.reduce_activities();
+        assert_eq!(a1, b2);
+        assert_eq!(a2, b2, "second pass is a no-op");
+        assert!(b1 >= a1);
+    }
+
+    #[test]
+    fn forward_lineage_is_backward_inverted() {
+        let mut eng = ProvQueryEngine::new(dassa_graph());
+        eng.derive_lineage();
+        let raw = eng.entity_by_label("/WestSac.tdms").unwrap();
+        let forward = eng.forward_lineage(&raw);
+        let labels: Vec<String> = forward.iter().map(|g| eng.label_of(g).unwrap()).collect();
+        assert_eq!(labels, vec!["/WestSac.h5", "/decimate.h5"]);
+        // Inversion property: everything forward of raw has raw in its
+        // backward lineage.
+        for g in &forward {
+            assert!(eng.backward_lineage(g).contains(&raw));
+        }
+    }
+
+    #[test]
+    fn missing_label_lookup_is_none() {
+        let eng = ProvQueryEngine::new(dassa_graph());
+        assert!(eng.entity_by_label("/nope").is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! Post-run merging of per-process sub-graphs.
+//!
+//! "The sub-graph files are then parsed and merged into a complete
+//! provenance graph. Since every node in the graph has a globally unique ID
+//! (GUID), merging the sub-graphs does not cause unnecessary duplication."
+//! (paper §5). Merging happens after workflow execution, so it costs the
+//! workflow nothing.
+
+use provio_hpcfs::FileSystem;
+use provio_rdf::{ntriples, turtle, Graph};
+use std::sync::Arc;
+
+/// Result of a merge.
+#[derive(Debug)]
+pub struct MergeReport {
+    pub files: usize,
+    pub triples: usize,
+    /// Files that failed to parse (e.g. a process died mid-write); the
+    /// merge proceeds without them.
+    pub corrupt: Vec<String>,
+}
+
+/// Parse and merge every sub-graph file under `dir` (recursively) into one
+/// graph. `.ttl` files parse as Turtle, `.nt` as N-Triples; unknown
+/// extensions try both.
+pub fn merge_directory(fs: &Arc<FileSystem>, dir: &str) -> (Graph, MergeReport) {
+    let mut graph = Graph::new();
+    let mut report = MergeReport {
+        files: 0,
+        triples: 0,
+        corrupt: Vec::new(),
+    };
+    let files = match fs.walk_files(dir) {
+        Ok(f) => f,
+        Err(_) => return (graph, report),
+    };
+    for path in files {
+        let Ok(ino) = fs.lookup(&path) else {
+            continue;
+        };
+        let Ok(md) = fs.stat(&path) else { continue };
+        let Ok(bytes) = fs.read_at(ino, 0, md.size) else {
+            continue;
+        };
+        let Ok(text) = String::from_utf8(bytes.to_vec()) else {
+            report.corrupt.push(path);
+            continue;
+        };
+        let parsed = if path.ends_with(".nt") {
+            ntriples::parse_into(&text, &mut graph).is_ok()
+        } else if path.ends_with(".ttl") {
+            turtle::parse_into(&text, &mut graph).is_ok()
+        } else {
+            turtle::parse_into(&text, &mut graph).is_ok()
+                || ntriples::parse_into(&text, &mut graph).is_ok()
+        };
+        if parsed {
+            report.files += 1;
+        } else {
+            report.corrupt.push(path);
+        }
+    }
+    report.triples = graph.len();
+    (graph, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ProvIoConfig, RdfFormat};
+    use crate::tracker::{IoEvent, ObjectDesc, ProvTracker};
+    use provio_hpcfs::LustreConfig;
+    use provio_model::ontology::nodes_of_class;
+    use provio_model::{ActivityClass, EntityClass};
+    use provio_simrt::{SimTime, VirtualClock};
+
+    fn event(path: &str) -> IoEvent {
+        IoEvent {
+            activity: ActivityClass::Write,
+            api_name: "H5Dwrite".into(),
+            object: Some(ObjectDesc::hdf5(EntityClass::Dataset, "/shared.h5", path)),
+            bytes: 1,
+            duration_ns: 1,
+            timestamp_ns: 1,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn merge_dedups_shared_guids() {
+        let fs = FileSystem::new(LustreConfig::default());
+        // Three processes all touch the same dataset: the merged graph must
+        // contain ONE dataset node but three Write activities.
+        for pid in 0..3 {
+            let t = ProvTracker::new(
+                ProvIoConfig::default().shared(),
+                Arc::clone(&fs),
+                pid,
+                "Bob",
+                "vpicio",
+                VirtualClock::new(),
+            );
+            t.track_io(&event("/Timestep_0/x"));
+            t.finish();
+        }
+        let (g, report) = merge_directory(&fs, "/provio");
+        assert_eq!(report.files, 3);
+        assert!(report.corrupt.is_empty());
+        assert_eq!(nodes_of_class(&g, EntityClass::Dataset.into()).len(), 1);
+        assert_eq!(nodes_of_class(&g, ActivityClass::Write.into()).len(), 3);
+        // Shared agents dedup too (same program name across ranks).
+        assert_eq!(
+            nodes_of_class(&g, provio_model::AgentClass::Program.into()).len(),
+            1
+        );
+        assert_eq!(
+            nodes_of_class(&g, provio_model::AgentClass::User.into()).len(),
+            1
+        );
+        // But each rank is its own Thread agent.
+        assert_eq!(
+            nodes_of_class(&g, provio_model::AgentClass::Thread.into()).len(),
+            3
+        );
+    }
+
+    #[test]
+    fn corrupt_files_skipped_not_fatal() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let t = ProvTracker::new(
+            ProvIoConfig::default().shared(),
+            Arc::clone(&fs),
+            0,
+            "B",
+            "p",
+            VirtualClock::new(),
+        );
+        t.track_io(&event("/d"));
+        t.finish();
+        // A truncated/corrupt sub-graph from a crashed process.
+        let ino = fs
+            .create_file("/provio/prov_p99.ttl", false, "provio", SimTime::ZERO)
+            .unwrap();
+        fs.write_at(ino, 0, b"@prefix broken <oops", SimTime::ZERO).unwrap();
+        let (g, report) = merge_directory(&fs, "/provio");
+        assert_eq!(report.files, 1);
+        assert_eq!(report.corrupt, vec!["/provio/prov_p99.ttl"]);
+        assert!(g.len() > 0);
+    }
+
+    #[test]
+    fn missing_dir_is_empty_merge() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let (g, report) = merge_directory(&fs, "/nowhere");
+        assert!(g.is_empty());
+        assert_eq!(report.files, 0);
+    }
+
+    #[test]
+    fn mixed_formats_merge() {
+        let fs = FileSystem::new(LustreConfig::default());
+        for (pid, fmt) in [(0u32, RdfFormat::Turtle), (1, RdfFormat::NTriples)] {
+            let cfg = ProvIoConfig::default().with_format(fmt).shared();
+            let t = ProvTracker::new(cfg, Arc::clone(&fs), pid, "B", "p", VirtualClock::new());
+            t.track_io(&event("/d"));
+            t.finish();
+        }
+        let (g, report) = merge_directory(&fs, "/provio");
+        assert_eq!(report.files, 2);
+        assert_eq!(nodes_of_class(&g, EntityClass::Dataset.into()).len(), 1);
+        assert_eq!(nodes_of_class(&g, ActivityClass::Write.into()).len(), 2);
+    }
+}

@@ -1,0 +1,323 @@
+//! The Provenance Store: durable, per-process RDF sub-graphs.
+//!
+//! Each tracked process owns one store writing a unique file under the
+//! configured directory on the parallel file system — "PROV-IO maintains an
+//! in-memory sub-graph for each process and lets the process serialize its
+//! own sub-graph to a unique RDF file on disk" (paper §5). Serialization is
+//! asynchronous by default: batches are applied by a small shared writer
+//! pool (thousands of per-rank stores may be live at H5bench scale, so a
+//! thread per store would exhaust the host), and the workflow's critical
+//! path only pays for enqueueing. The synchronous mode exists as the
+//! ablation the paper's design argues against.
+
+use crate::config::RdfFormat;
+use parking_lot::Mutex;
+use provio_hpcfs::FileSystem;
+use provio_rdf::{ntriples, turtle, Graph, Namespaces, Triple};
+use provio_simrt::{ChargeGuard, SimTime, VirtualClock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The shared background writer pool.
+mod pool {
+    use crossbeam::channel::{unbounded, Sender};
+    use std::sync::OnceLock;
+
+    pub type Job = Box<dyn FnOnce() + Send>;
+
+    fn sender() -> &'static Sender<Job> {
+        static TX: OnceLock<Sender<Job>> = OnceLock::new();
+        TX.get_or_init(|| {
+            let (tx, rx) = unbounded::<Job>();
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get().clamp(2, 8))
+                .unwrap_or(2);
+            for i in 0..workers {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("provio-store-{i}"))
+                    .stack_size(512 * 1024)
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn provenance store pool worker");
+            }
+            tx
+        })
+    }
+
+    pub fn submit(job: Job) {
+        let _ = sender().send(job);
+    }
+}
+
+struct Writer {
+    fs: Arc<FileSystem>,
+    path: String,
+    format: RdfFormat,
+    graph: Graph,
+}
+
+impl Writer {
+    fn write_out(&self) -> u64 {
+        let text = match self.format {
+            RdfFormat::Turtle => turtle::serialize(&self.graph, &Namespaces::standard()),
+            RdfFormat::NTriples => ntriples::serialize(&self.graph),
+        };
+        let bytes = text.as_bytes();
+        let now = SimTime::ZERO; // store-internal write; mtime is irrelevant
+        let Ok(ino) = self.fs.create_file(&self.path, false, "provio", now) else {
+            return 0; // store location unusable; report nothing durable
+        };
+        if self.fs.truncate_ino(ino, 0, now).is_err()
+            || self.fs.write_at(ino, 0, bytes, now).is_err()
+        {
+            return 0;
+        }
+        bytes.len() as u64
+    }
+}
+
+/// A per-process provenance sink.
+pub struct ProvenanceStore {
+    writer: Arc<Mutex<Writer>>,
+    /// Background jobs submitted but not yet completed.
+    in_flight: Arc<AtomicU64>,
+    async_store: bool,
+    fs: Arc<FileSystem>,
+    path: String,
+    triples_pushed: Mutex<u64>,
+}
+
+impl ProvenanceStore {
+    /// Create a store writing `path` on `fs`. `async_store` selects the
+    /// background-pool mode.
+    pub fn new(
+        fs: Arc<FileSystem>,
+        path: impl Into<String>,
+        format: RdfFormat,
+        async_store: bool,
+    ) -> Self {
+        let path = path.into();
+        // Ensure the parent directory exists.
+        if let Some((dir, _)) = path.rsplit_once('/') {
+            if !dir.is_empty() {
+                let _ = fs.mkdir_all(dir, "provio", SimTime::ZERO);
+            }
+        }
+        let writer = Writer {
+            fs: Arc::clone(&fs),
+            path: path.clone(),
+            format,
+            graph: Graph::new(),
+        };
+        ProvenanceStore {
+            writer: Arc::new(Mutex::new(writer)),
+            in_flight: Arc::new(AtomicU64::new(0)),
+            async_store,
+            fs,
+            path,
+            triples_pushed: Mutex::new(0),
+        }
+    }
+
+    /// The store file's path on the parallel file system.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Hand a batch of triples to the store.
+    ///
+    /// Async mode: enqueue to the shared pool. Sync mode: insert on the
+    /// caller's time (pass the issuing process's clock so the cost lands on
+    /// the workflow — exactly the ablation's point).
+    pub fn push(&self, triples: Vec<Triple>, charge: Option<&VirtualClock>) {
+        *self.triples_pushed.lock() += triples.len() as u64;
+        if self.async_store {
+            let writer = Arc::clone(&self.writer);
+            let in_flight = Arc::clone(&self.in_flight);
+            in_flight.fetch_add(1, Ordering::AcqRel);
+            pool::submit(Box::new(move || {
+                {
+                    let mut w = writer.lock();
+                    for t in &triples {
+                        w.graph.insert(t);
+                    }
+                }
+                in_flight.fetch_sub(1, Ordering::AcqRel);
+            }));
+        } else {
+            let _guard = charge.map(ChargeGuard::new);
+            let mut w = self.writer.lock();
+            for t in &triples {
+                w.graph.insert(t);
+            }
+        }
+    }
+
+    /// Wait until all enqueued batches for this store have been applied.
+    fn drain(&self) {
+        while self.in_flight.load(Ordering::Acquire) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Request an intermediate serialization (periodic policy).
+    pub fn flush(&self, charge: Option<&VirtualClock>) {
+        if self.async_store {
+            let writer = Arc::clone(&self.writer);
+            let in_flight = Arc::clone(&self.in_flight);
+            in_flight.fetch_add(1, Ordering::AcqRel);
+            pool::submit(Box::new(move || {
+                writer.lock().write_out();
+                in_flight.fetch_sub(1, Ordering::AcqRel);
+            }));
+        } else {
+            let _guard = charge.map(ChargeGuard::new);
+            self.writer.lock().write_out();
+        }
+    }
+
+    /// Final flush; blocks until the sub-graph file is durable and returns
+    /// its size in bytes.
+    pub fn finish(&self, charge: Option<&VirtualClock>) -> u64 {
+        if self.async_store {
+            self.drain();
+            self.writer.lock().write_out()
+        } else {
+            let _guard = charge.map(ChargeGuard::new);
+            self.writer.lock().write_out()
+        }
+    }
+
+    /// Current size of the store file on the parallel file system.
+    pub fn size_bytes(&self) -> u64 {
+        self.fs.stat(&self.path).map(|m| m.size).unwrap_or(0)
+    }
+
+    /// Triples pushed so far (pre-dedup).
+    pub fn triples_pushed(&self) -> u64 {
+        *self.triples_pushed.lock()
+    }
+}
+
+impl Drop for ProvenanceStore {
+    fn drop(&mut self) {
+        // Make sure buffered batches land even if `finish` was never called
+        // (e.g. a process crashed before MPI_Finalize).
+        if self.async_store {
+            self.drain();
+            self.writer.lock().write_out();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provio_hpcfs::LustreConfig;
+    use provio_rdf::{Iri, Subject, Term};
+
+    fn triples(n: usize) -> Vec<Triple> {
+        (0..n)
+            .map(|i| {
+                Triple::new(
+                    Subject::iri(format!("urn:s{i}")),
+                    Iri::new("urn:p"),
+                    Term::iri("urn:o"),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sync_store_round_trip() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/p1.ttl", RdfFormat::Turtle, false);
+        st.push(triples(5), None);
+        let bytes = st.finish(None);
+        assert!(bytes > 0);
+        assert_eq!(st.size_bytes(), bytes);
+        let text = String::from_utf8(fs_read(&fs, "/prov/p1.ttl")).unwrap();
+        let (g, _) = turtle::parse(&text).unwrap();
+        assert_eq!(g.len(), 5);
+    }
+
+    #[test]
+    fn async_store_round_trip() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st =
+            ProvenanceStore::new(Arc::clone(&fs), "/prov/p2.nt", RdfFormat::NTriples, true);
+        st.push(triples(100), None);
+        st.push(triples(100), None); // duplicates collapse in the graph
+        let bytes = st.finish(None);
+        assert!(bytes > 0);
+        let text = String::from_utf8(fs_read(&fs, "/prov/p2.nt")).unwrap();
+        let g = ntriples::parse(&text).unwrap();
+        assert_eq!(g.len(), 100);
+        assert_eq!(st.triples_pushed(), 200);
+    }
+
+    #[test]
+    fn intermediate_flush_writes_file() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/p3.nt", RdfFormat::NTriples, false);
+        st.push(triples(3), None);
+        st.flush(None);
+        assert!(st.size_bytes() > 0);
+        st.push(triples(10), None);
+        st.finish(None);
+        let text = String::from_utf8(fs_read(&fs, "/prov/p3.nt")).unwrap();
+        assert_eq!(ntriples::parse(&text).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn double_finish_is_safe() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/p4.ttl", RdfFormat::Turtle, true);
+        st.push(triples(2), None);
+        let a = st.finish(None);
+        let b = st.finish(None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sync_push_charges_caller_clock() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/p5.ttl", RdfFormat::Turtle, false);
+        let clock = VirtualClock::new();
+        st.push(triples(1000), Some(&clock));
+        assert!(clock.now().as_nanos() > 0, "sync mode bills the workflow");
+    }
+
+    #[test]
+    fn thousands_of_stores_share_the_pool() {
+        // The H5bench regression: many live stores must not exhaust host
+        // threads. 2000 stores, a few triples each.
+        let fs = FileSystem::new(LustreConfig::default());
+        let stores: Vec<ProvenanceStore> = (0..2000)
+            .map(|i| {
+                let st = ProvenanceStore::new(
+                    Arc::clone(&fs),
+                    format!("/prov/many/p{i}.nt"),
+                    RdfFormat::NTriples,
+                    true,
+                );
+                st.push(triples(3), None);
+                st
+            })
+            .collect();
+        for st in &stores {
+            assert!(st.finish(None) > 0);
+        }
+        assert_eq!(fs.walk_files("/prov/many").unwrap().len(), 2000);
+    }
+
+    fn fs_read(fs: &Arc<FileSystem>, path: &str) -> Vec<u8> {
+        let ino = fs.lookup(path).unwrap();
+        let size = fs.stat(path).unwrap().size;
+        fs.read_at(ino, 0, size).unwrap().to_vec()
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests over the tracking pipeline: selector monotonicity
+//! (enabling more sub-classes never loses provenance), store round-trip
+//! fidelity, and merge invariance under event partitioning.
+
+use proptest::prelude::*;
+use provio::{merge_directory, IoEvent, ObjectDesc, ProvIoConfig, ProvTracker};
+use provio_hpcfs::{FileSystem, LustreConfig};
+use provio_model::{ActivityClass, ClassSelector, EntityClass};
+use provio_rdf::Graph;
+use provio_simrt::VirtualClock;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct Ev {
+    activity: u8,
+    entity: u8,
+    name: u8,
+    bytes: u16,
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<Ev>> {
+    proptest::collection::vec(
+        (0u8..6, 0u8..7, 0u8..8, any::<u16>()).prop_map(|(activity, entity, name, bytes)| Ev {
+            activity,
+            entity,
+            name,
+            bytes,
+        }),
+        1..40,
+    )
+}
+
+fn to_event(e: &Ev, i: u64) -> IoEvent {
+    let activity = ActivityClass::ALL[e.activity as usize];
+    let entity = EntityClass::ALL[e.entity as usize];
+    IoEvent {
+        activity,
+        api_name: format!("api_{}", activity.local_name()),
+        object: Some(ObjectDesc::hdf5(
+            entity,
+            "/f.h5",
+            format!("/obj{}", e.name),
+        )),
+        bytes: e.bytes as u64,
+        duration_ns: 10,
+        timestamp_ns: i,
+        ok: true,
+    }
+}
+
+fn run_events(events: &[Ev], selector: ClassSelector) -> (Graph, u64) {
+    let fs = FileSystem::new(LustreConfig::default());
+    let tracker = ProvTracker::new(
+        ProvIoConfig::default()
+            .with_selector(selector)
+            .with_record_latency_ns(0)
+            .shared(),
+        Arc::clone(&fs),
+        0,
+        "u",
+        "p",
+        VirtualClock::new(),
+    );
+    for (i, e) in events.iter().enumerate() {
+        tracker.track_io(&to_event(e, i as u64));
+    }
+    let summary = tracker.finish();
+    let (graph, _) = merge_directory(&fs, "/provio");
+    (graph, summary.events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// DASSA's nested presets: finer granularity ⇒ superset of events and
+    /// at least as many triples.
+    #[test]
+    fn selector_granularity_is_monotone(events in arb_events()) {
+        let (g_file, e_file) = run_events(&events, ClassSelector::dassa_file_lineage());
+        let (g_ds, e_ds) = run_events(&events, ClassSelector::dassa_dataset_lineage());
+        let (g_attr, e_attr) = run_events(&events, ClassSelector::dassa_attribute_lineage());
+        prop_assert!(e_file <= e_ds);
+        prop_assert!(e_ds <= e_attr);
+        prop_assert!(g_file.len() <= g_ds.len());
+        prop_assert!(g_ds.len() <= g_attr.len());
+    }
+
+    /// `all()` captures every event; `none()` captures none.
+    #[test]
+    fn all_and_none_bracket(events in arb_events()) {
+        let (g_all, e_all) = run_events(&events, ClassSelector::all());
+        let (g_none, e_none) = run_events(&events, ClassSelector::none());
+        prop_assert_eq!(e_all, events.len() as u64);
+        prop_assert_eq!(e_none, 0);
+        prop_assert!(g_all.len() > 0);
+        prop_assert_eq!(g_none.len(), 0);
+    }
+
+    /// Partitioning events across processes and merging yields the same
+    /// entity/agent nodes as one process tracking everything (activities
+    /// differ only in their per-process GUIDs).
+    #[test]
+    fn merge_invariant_under_partitioning(events in arb_events(), split in any::<prop::sample::Index>()) {
+        use provio_model::ontology::nodes_of_class;
+
+        let k = split.index(events.len());
+        let fs = FileSystem::new(LustreConfig::default());
+        for (pid, chunk) in [&events[..k], &events[k..]].iter().enumerate() {
+            let t = ProvTracker::new(
+                ProvIoConfig::default().with_record_latency_ns(0).shared(),
+                Arc::clone(&fs),
+                pid as u32,
+                "u",
+                "p",
+                VirtualClock::new(),
+            );
+            for (i, e) in chunk.iter().enumerate() {
+                t.track_io(&to_event(e, i as u64));
+            }
+            t.finish();
+        }
+        let (split_graph, _) = merge_directory(&fs, "/provio");
+
+        let (single_graph, _) = run_events(&events, ClassSelector::all());
+
+        for class in EntityClass::ALL {
+            let a = nodes_of_class(&split_graph, class.into()).len();
+            let b = nodes_of_class(&single_graph, class.into()).len();
+            prop_assert_eq!(a, b, "entity class {:?}", class);
+        }
+        for class in ActivityClass::ALL {
+            let a = nodes_of_class(&split_graph, class.into()).len();
+            let b = nodes_of_class(&single_graph, class.into()).len();
+            prop_assert_eq!(a, b, "activity class {:?}", class);
+        }
+    }
+
+    /// The store round-trips exactly: what the tracker emitted is what the
+    /// merged graph contains (Turtle serialize/parse is lossless for the
+    /// tracker's output).
+    #[test]
+    fn store_round_trip_lossless(events in arb_events()) {
+        let (graph, _) = run_events(&events, ClassSelector::all());
+        let ttl = provio_rdf::turtle::serialize(&graph, &provio_rdf::Namespaces::standard());
+        let (reparsed, _) = provio_rdf::turtle::parse(&ttl).unwrap();
+        prop_assert_eq!(graph.len(), reparsed.len());
+        for t in graph.iter() {
+            prop_assert!(reparsed.contains(&t));
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! HDF5-level errors.
+
+use provio_hpcfs::FsError;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum H5Error {
+    /// Object or file not found.
+    NotFound(String),
+    /// Name already exists at this location.
+    AlreadyExists(String),
+    /// Handle is closed or of the wrong kind.
+    BadHandle,
+    /// Operation not valid for this object kind (e.g. read on a group).
+    WrongKind { expected: &'static str },
+    /// Selection exceeds the dataset's current extent.
+    SelectionOutOfBounds,
+    /// Dataspace rank mismatch between selection and dataset.
+    RankMismatch,
+    /// Extend beyond maxdims or on a fixed dataspace.
+    NotExtendable,
+    /// Payload size does not match selection × datatype size.
+    SizeMismatch { expected: u64, got: u64 },
+    /// Invalid name (empty, or containing '/')
+    BadName(String),
+    /// Underlying file-system error.
+    Fs(FsError),
+}
+
+impl fmt::Display for H5Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            H5Error::NotFound(p) => write!(f, "H5: not found: {p}"),
+            H5Error::AlreadyExists(p) => write!(f, "H5: already exists: {p}"),
+            H5Error::BadHandle => write!(f, "H5: bad handle"),
+            H5Error::WrongKind { expected } => write!(f, "H5: wrong object kind, expected {expected}"),
+            H5Error::SelectionOutOfBounds => write!(f, "H5: selection out of bounds"),
+            H5Error::RankMismatch => write!(f, "H5: dataspace rank mismatch"),
+            H5Error::NotExtendable => write!(f, "H5: dataspace not extendable"),
+            H5Error::SizeMismatch { expected, got } => {
+                write!(f, "H5: payload size mismatch: expected {expected}, got {got}")
+            }
+            H5Error::BadName(n) => write!(f, "H5: bad name: {n:?}"),
+            H5Error::Fs(e) => write!(f, "H5: fs error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for H5Error {}
+
+impl From<FsError> for H5Error {
+    fn from(e: FsError) -> Self {
+        H5Error::Fs(e)
+    }
+}
+
+pub type H5Result<T> = Result<T, H5Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(H5Error::NotFound("/g/d".into()).to_string().contains("/g/d"));
+        assert!(H5Error::Fs(FsError::NotFound).to_string().contains("ENOENT"));
+    }
+}

@@ -1,0 +1,36 @@
+//! `provio-hpcfs` — a simulated HPC storage stack.
+//!
+//! The paper evaluates PROV-IO on a Lustre parallel file system and captures
+//! POSIX I/O by interposing syscalls with GOTCHA (paper §5). This crate is
+//! that substrate, built from scratch:
+//!
+//! * [`FileSystem`] — a POSIX-like in-memory file system: directories,
+//!   regular files, symlinks/hard links, inode extended attributes (which
+//!   back the PROV-IO *Attribute* entity sub-class on the POSIX side),
+//!   rename, fsync, and sparse file content so multi-terabyte synthetic
+//!   datasets occupy metadata only.
+//! * [`lustre::LustreConfig`] — a striping cost model (stripe count/size,
+//!   OST latency/bandwidth) that charges every operation's modeled duration
+//!   to the calling process's virtual clock.
+//! * [`syscall`] — the interposition layer: every [`FsSession`] operation is
+//!   routed through a [`syscall::Dispatcher`] which invokes registered
+//!   [`syscall::SyscallHook`]s with the full event (pid, call, paths, bytes,
+//!   duration). PROV-IO's POSIX wrapper is one such hook; the workflow code
+//!   never changes — exactly GOTCHA's contract.
+//!
+//! Processes interact with the file system through an [`FsSession`], which
+//! bundles a process id, user, virtual clock and file-descriptor table.
+
+pub mod content;
+pub mod error;
+pub mod fs;
+pub mod lustre;
+pub mod session;
+pub mod syscall;
+
+pub use content::FileContent;
+pub use error::{FsError, FsResult};
+pub use fs::{FileKind, FileSystem, Metadata};
+pub use lustre::LustreConfig;
+pub use session::{Fd, FsSession, OpenFlags, Whence};
+pub use syscall::{Dispatcher, SyscallEvent, SyscallHook, SyscallKind};

@@ -1,0 +1,132 @@
+//! The Lustre cost model.
+//!
+//! The paper's storage backend is "a Lustre file system with stripe count of
+//! 128 and stripe size of 16MB" (§6.1). This module models what matters for
+//! the evaluation's completion times: every operation pays a metadata-server
+//! round trip, and bulk transfers stream through up to `stripe_count` object
+//! storage targets in parallel.
+//!
+//! The default constants are calibrated to commodity Lustre deployments
+//! (tens-of-microsecond MDS latency, ~1 GB/s per OST). Absolute times are
+//! therefore *modeled*; the paper-shape analysis in EXPERIMENTS.md depends
+//! only on their ratios to real tracking cost staying in a realistic range.
+
+use provio_simrt::{LatencyBandwidth, SimDuration};
+
+/// Striping + latency parameters for the simulated parallel file system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LustreConfig {
+    /// Number of OSTs a file is striped across.
+    pub stripe_count: u32,
+    /// Stripe size in bytes.
+    pub stripe_size: u64,
+    /// Metadata server: path resolution, open/create/rename/xattr.
+    pub mds: LatencyBandwidth,
+    /// One object storage target's data channel.
+    pub ost: LatencyBandwidth,
+    /// Client-side per-call overhead (VFS + network stack).
+    pub client_overhead_ns: u64,
+}
+
+impl Default for LustreConfig {
+    fn default() -> Self {
+        // Paper configuration: stripe count 128, stripe size 16 MB.
+        LustreConfig {
+            stripe_count: 128,
+            stripe_size: 16 * 1024 * 1024,
+            mds: LatencyBandwidth::new(60_000, 0), // 60 us metadata RTT
+            ost: LatencyBandwidth::new(120_000, 1_000_000_000), // 120 us + 1 GB/s per OST
+            client_overhead_ns: 2_000,
+        }
+    }
+}
+
+impl LustreConfig {
+    /// A metadata-only operation (open, create, stat, rename, xattr, …).
+    pub fn meta_op(&self) -> SimDuration {
+        SimDuration::from_nanos(self.client_overhead_ns).saturating_add(self.mds.meta_cost())
+    }
+
+    /// A data transfer of `bytes` (read or write).
+    ///
+    /// The transfer is split round-robin across the stripes it touches; the
+    /// per-OST latencies overlap, so the modeled time is one OST latency plus
+    /// the slowest OST's share of the bytes.
+    pub fn data_op(&self, bytes: u64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::from_nanos(self.client_overhead_ns)
+                .saturating_add(SimDuration::from_nanos(self.ost.latency_ns));
+        }
+        let stripes_touched = (bytes.div_ceil(self.stripe_size))
+            .min(self.stripe_count as u64)
+            .max(1);
+        let per_ost = bytes.div_ceil(stripes_touched);
+        SimDuration::from_nanos(self.client_overhead_ns)
+            .saturating_add(self.ost.cost(per_ost))
+    }
+
+    /// An fsync: metadata commit plus flushing each dirty OST.
+    pub fn fsync_op(&self, dirty_bytes: u64) -> SimDuration {
+        self.meta_op().saturating_add(self.data_op(dirty_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_op_is_latency_dominated() {
+        let c = LustreConfig::default();
+        assert_eq!(c.meta_op().as_nanos(), 2_000 + 60_000);
+    }
+
+    #[test]
+    fn small_transfer_single_stripe() {
+        let c = LustreConfig::default();
+        let d = c.data_op(1024);
+        // 2us client + 120us OST latency + 1 KiB at 1 GB/s (~1us)
+        assert!(d.as_nanos() > 122_000 && d.as_nanos() < 125_000, "{d}");
+    }
+
+    #[test]
+    fn large_transfer_parallelizes_across_stripes() {
+        let c = LustreConfig::default();
+        let one_gb = 1u64 << 30;
+        let striped = c.data_op(one_gb);
+        // 1 GiB touches 64 stripes of 16 MB → per-OST share is 16 MiB.
+        let serial = c.ost.cost(one_gb);
+        assert!(striped.as_nanos() < serial.as_nanos() / 32, "{striped} vs {serial}");
+    }
+
+    #[test]
+    fn stripes_cap_at_stripe_count() {
+        let c = LustreConfig {
+            stripe_count: 2,
+            ..Default::default()
+        };
+        let bytes = 10 * c.stripe_size;
+        // Two OSTs → per-OST share = 5 stripes.
+        let d = c.data_op(bytes);
+        let expect = c.ost.cost(bytes / 2).as_nanos() + c.client_overhead_ns;
+        assert_eq!(d.as_nanos(), expect);
+    }
+
+    #[test]
+    fn data_op_monotone_in_bytes() {
+        let c = LustreConfig::default();
+        let mut last = SimDuration::ZERO;
+        for bytes in [0u64, 1, 1024, 1 << 20, 1 << 30, 1 << 40] {
+            let d = c.data_op(bytes);
+            assert!(d >= last, "cost must be monotone: {bytes}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn fsync_includes_meta_and_data() {
+        let c = LustreConfig::default();
+        assert!(c.fsync_op(0) >= c.meta_op());
+        assert!(c.fsync_op(1 << 20) > c.fsync_op(0));
+    }
+}

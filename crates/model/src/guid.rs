@@ -1,0 +1,213 @@
+//! Globally unique node identities.
+//!
+//! "Every node in the graph has a globally unique ID (GUID), \[so\] merging
+//! the sub-graphs does not cause unnecessary duplication" (paper §5). Two
+//! different processes that touch the same file must therefore mint the
+//! *same* GUID for it — data objects and agents are content-addressed by
+//! their class and stable name. Activities (individual I/O API invocations)
+//! are the opposite: every invocation is its own node, so their GUIDs
+//! include the minting process and a local counter.
+
+use provio_rdf::{Iri, Subject};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A node identity, realized as an IRI in the run-scoped `urn:provio:`
+/// namespace.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Guid(String);
+
+impl Guid {
+    /// The full IRI string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    pub fn to_iri(&self) -> Iri {
+        Iri::new(self.0.clone())
+    }
+
+    pub fn to_subject(&self) -> Subject {
+        Subject::Iri(self.to_iri())
+    }
+
+    /// Reconstruct from an IRI (when reading provenance back).
+    pub fn from_iri(iri: &Iri) -> Option<Guid> {
+        if iri.as_str().starts_with(provio_rdf::ns::RESOURCE) {
+            Some(Guid(iri.as_str().to_string()))
+        } else {
+            None
+        }
+    }
+
+    /// The human-readable tail of the GUID (after the namespace).
+    pub fn local(&self) -> &str {
+        &self.0[provio_rdf::ns::RESOURCE.len()..]
+    }
+}
+
+impl fmt::Display for Guid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Stable content hash for GUID components (e.g. a configuration value).
+pub fn content_hash(s: &str) -> u64 {
+    fnv1a(s.as_bytes())
+}
+
+/// FNV-1a, for stable content-addressed suffixes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Percent-encode characters that may not appear raw in an IRI.
+fn sanitize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '/' | '.' | '_' | '-' | '#' => out.push(c),
+            other => {
+                let mut buf = [0u8; 4];
+                for b in other.encode_utf8(&mut buf).as_bytes() {
+                    out.push_str(&format!("%{b:02X}"));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// GUID factory for one tracked process.
+#[derive(Debug)]
+pub struct GuidGen {
+    /// Process identity baked into per-invocation GUIDs.
+    pid: u32,
+    counter: AtomicU64,
+}
+
+impl GuidGen {
+    pub fn new(pid: u32) -> Self {
+        GuidGen {
+            pid,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Content-addressed GUID for a data object: stable across processes.
+    ///
+    /// `scope` is the containing file's path (empty for POSIX-level
+    /// objects); `name` the object's path/name.
+    pub fn data_object(class: &str, scope: &str, name: &str) -> Guid {
+        let label = if scope.is_empty() {
+            sanitize(name)
+        } else {
+            format!("{}#{}", sanitize(scope), sanitize(name.trim_start_matches('/')))
+        };
+        // Hash keeps GUIDs unique even if sanitization collides.
+        let h = fnv1a(format!("{class}\0{scope}\0{name}").as_bytes());
+        Guid(format!(
+            "{}obj/{}/{}-{:08x}",
+            provio_rdf::ns::RESOURCE,
+            class.to_ascii_lowercase(),
+            label,
+            h as u32
+        ))
+    }
+
+    /// Content-addressed GUID for an agent (user/program/thread).
+    pub fn agent(class: &str, name: &str) -> Guid {
+        Guid(format!(
+            "{}agent/{}/{}",
+            provio_rdf::ns::RESOURCE,
+            class.to_ascii_lowercase(),
+            sanitize(name)
+        ))
+    }
+
+    /// Content-addressed GUID for an extensible-class node.
+    pub fn extensible(class: &str, name: &str) -> Guid {
+        Guid(format!(
+            "{}ext/{}/{}",
+            provio_rdf::ns::RESOURCE,
+            class.to_ascii_lowercase(),
+            sanitize(name)
+        ))
+    }
+
+    /// Unique GUID for one I/O API invocation (like "H5Dcreate2-b1" in the
+    /// paper's Figure 4(b)).
+    pub fn activity(&self, api_name: &str) -> Guid {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        Guid(format!(
+            "{}act/{}-p{}-{}",
+            provio_rdf::ns::RESOURCE,
+            sanitize(api_name),
+            self.pid,
+            n
+        ))
+    }
+
+    /// Number of activity GUIDs minted so far.
+    pub fn minted(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_objects_are_content_addressed() {
+        let a = GuidGen::data_object("File", "", "/data/WestSac.h5");
+        let b = GuidGen::data_object("File", "", "/data/WestSac.h5");
+        assert_eq!(a, b, "same object in two processes → same GUID");
+        let c = GuidGen::data_object("File", "", "/data/Other.h5");
+        assert_ne!(a, c);
+        // Same name, different class → different GUID.
+        let d = GuidGen::data_object("Dataset", "", "/data/WestSac.h5");
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn scoped_objects_include_file() {
+        let a = GuidGen::data_object("Dataset", "/f1.h5", "/Timestep_0/x");
+        let b = GuidGen::data_object("Dataset", "/f2.h5", "/Timestep_0/x");
+        assert_ne!(a, b);
+        assert!(a.as_str().contains("f1.h5"));
+    }
+
+    #[test]
+    fn activities_are_unique_per_invocation() {
+        let gen = GuidGen::new(7);
+        let a = gen.activity("H5Dcreate2");
+        let b = gen.activity("H5Dcreate2");
+        assert_ne!(a, b);
+        assert_eq!(gen.minted(), 2);
+        // Different processes can't collide either.
+        let other = GuidGen::new(8);
+        assert_ne!(a, other.activity("H5Dcreate2"));
+    }
+
+    #[test]
+    fn guids_are_valid_iris_and_round_trip() {
+        let g = GuidGen::data_object("Attribute", "/a b.h5", "/ds#units µ");
+        let iri = g.to_iri();
+        assert!(!iri.as_str().contains(' '), "sanitized: {iri}");
+        assert_eq!(Guid::from_iri(&iri), Some(g));
+        assert_eq!(Guid::from_iri(&Iri::new("http://elsewhere/x")), None);
+    }
+
+    #[test]
+    fn local_strips_namespace() {
+        let g = GuidGen::agent("User", "Bob");
+        assert_eq!(g.local(), "agent/user/Bob");
+    }
+}

@@ -1,0 +1,116 @@
+//! Communication cost model for collectives.
+
+use provio_simrt::{LatencyBandwidth, SimDuration};
+
+/// Interconnect parameters for collective operations.
+///
+/// Collectives are modeled as binomial trees: `ceil(log2(P))` rounds, each
+/// paying the link latency plus the payload's transfer time. Defaults
+/// approximate a Cray Aries-class fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommModel {
+    /// One network hop.
+    pub link: LatencyBandwidth,
+    /// Fixed software overhead per collective call, per rank.
+    pub call_overhead_ns: u64,
+}
+
+impl Default for CommModel {
+    fn default() -> Self {
+        CommModel {
+            link: LatencyBandwidth::new(1_500, 10_000_000_000), // 1.5 us, 10 GB/s
+            call_overhead_ns: 500,
+        }
+    }
+}
+
+impl CommModel {
+    fn rounds(ranks: u32) -> u32 {
+        if ranks <= 1 {
+            0
+        } else {
+            32 - (ranks - 1).leading_zeros()
+        }
+    }
+
+    /// Cost of a barrier across `ranks`.
+    pub fn barrier(&self, ranks: u32) -> SimDuration {
+        let mut d = SimDuration::from_nanos(self.call_overhead_ns);
+        for _ in 0..Self::rounds(ranks) {
+            d = d.saturating_add(self.link.meta_cost());
+        }
+        d
+    }
+
+    /// Cost of an allreduce of `bytes` across `ranks`.
+    pub fn allreduce(&self, ranks: u32, bytes: u64) -> SimDuration {
+        let mut d = SimDuration::from_nanos(self.call_overhead_ns);
+        for _ in 0..Self::rounds(ranks) {
+            d = d.saturating_add(self.link.cost(bytes));
+        }
+        d
+    }
+
+    /// Cost of a broadcast of `bytes` across `ranks`.
+    pub fn broadcast(&self, ranks: u32, bytes: u64) -> SimDuration {
+        // Same tree shape as allreduce.
+        self.allreduce(ranks, bytes)
+    }
+
+    /// Cost of gathering `bytes_per_rank` to the root.
+    pub fn gather(&self, ranks: u32, bytes_per_rank: u64) -> SimDuration {
+        let mut d = SimDuration::from_nanos(self.call_overhead_ns);
+        let mut inflight = bytes_per_rank;
+        for _ in 0..Self::rounds(ranks) {
+            d = d.saturating_add(self.link.cost(inflight));
+            inflight = inflight.saturating_mul(2);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_are_log2_ceil() {
+        assert_eq!(CommModel::rounds(1), 0);
+        assert_eq!(CommModel::rounds(2), 1);
+        assert_eq!(CommModel::rounds(3), 2);
+        assert_eq!(CommModel::rounds(4), 2);
+        assert_eq!(CommModel::rounds(4096), 12);
+    }
+
+    #[test]
+    fn barrier_scales_logarithmically() {
+        let m = CommModel::default();
+        let b2 = m.barrier(2);
+        let b4096 = m.barrier(4096);
+        assert!(b4096 > b2);
+        // 12 rounds vs 1 round.
+        assert_eq!(
+            b4096.as_nanos() - m.call_overhead_ns,
+            12 * (b2.as_nanos() - m.call_overhead_ns)
+        );
+    }
+
+    #[test]
+    fn allreduce_grows_with_bytes() {
+        let m = CommModel::default();
+        assert!(m.allreduce(64, 1 << 20) > m.allreduce(64, 8));
+    }
+
+    #[test]
+    fn gather_doubles_inflight() {
+        let m = CommModel::default();
+        assert!(m.gather(1024, 1024) > m.allreduce(1024, 1024));
+    }
+
+    #[test]
+    fn single_rank_collectives_are_overheads_only() {
+        let m = CommModel::default();
+        assert_eq!(m.barrier(1).as_nanos(), m.call_overhead_ns);
+        assert_eq!(m.allreduce(1, 1 << 20).as_nanos(), m.call_overhead_ns);
+    }
+}

@@ -1,0 +1,25 @@
+//! `provio-mpi` — a BSP-style simulated MPI runtime.
+//!
+//! The paper's H5bench workloads run on up to 4096 MPI ranks (§6.1). This
+//! runtime reproduces the execution structure that matters to the
+//! evaluation — data-parallel ranks with their own clocks, synchronized at
+//! collectives — while multiplexing any number of *virtual* ranks over the
+//! host's cores with rayon:
+//!
+//! * [`MpiWorld::superstep`] runs a closure once per rank, in parallel, and
+//!   ends with an implicit barrier: all rank clocks advance to the slowest
+//!   rank's time, exactly how wall-clock behaves at `MPI_Barrier`.
+//! * [`MpiWorld::allreduce_max`] / [`MpiWorld::allreduce_sum`] /
+//!   [`MpiWorld::broadcast`] combine values
+//!   across ranks between supersteps and charge a log₂(P) tree cost.
+//!
+//! This phased (bulk-synchronous) model is a substitution for full
+//! message-passing (DESIGN.md §3): the three evaluated workflows are
+//! barrier-synchronized I/O kernels and file-parallel pipelines with no
+//! point-to-point dependencies inside a phase.
+
+pub mod collectives;
+pub mod world;
+
+pub use collectives::CommModel;
+pub use world::{MpiWorld, RankCtx};

@@ -1,0 +1,250 @@
+//! The rank executor.
+
+use crate::collectives::CommModel;
+use provio_simrt::{SimDuration, SimTime, VirtualClock};
+use rayon::prelude::*;
+
+/// Per-rank context handed to superstep closures.
+pub struct RankCtx<'a> {
+    pub rank: u32,
+    pub size: u32,
+    clock: &'a VirtualClock,
+}
+
+impl RankCtx<'_> {
+    /// This rank's virtual clock (hand it to the rank's `FsSession`).
+    pub fn clock(&self) -> &VirtualClock {
+        self.clock
+    }
+
+    /// Charge local compute time.
+    pub fn compute(&self, d: SimDuration) {
+        self.clock.advance(d);
+    }
+}
+
+/// A world of `size` virtual ranks, each with a private virtual clock.
+pub struct MpiWorld {
+    clocks: Vec<VirtualClock>,
+    comm: CommModel,
+}
+
+impl MpiWorld {
+    pub fn new(size: u32) -> Self {
+        Self::with_comm(size, CommModel::default())
+    }
+
+    pub fn with_comm(size: u32, comm: CommModel) -> Self {
+        assert!(size >= 1, "world needs at least one rank");
+        MpiWorld {
+            clocks: (0..size).map(|_| VirtualClock::new()).collect(),
+            comm,
+        }
+    }
+
+    pub fn size(&self) -> u32 {
+        self.clocks.len() as u32
+    }
+
+    pub fn clock(&self, rank: u32) -> &VirtualClock {
+        &self.clocks[rank as usize]
+    }
+
+    /// Run `f` once per rank, in parallel, then barrier. Results are
+    /// returned indexed by rank.
+    ///
+    /// Ranks are multiplexed over the host's cores by rayon; each rank's
+    /// modeled time accrues on its own clock, so any number of virtual ranks
+    /// (the paper uses up to 4096) runs on a laptop.
+    pub fn superstep<T: Send>(&self, f: impl Fn(RankCtx<'_>) -> T + Sync) -> Vec<T> {
+        let size = self.size();
+        let out: Vec<T> = self
+            .clocks
+            .par_iter()
+            .enumerate()
+            .map(|(rank, clock)| {
+                f(RankCtx {
+                    rank: rank as u32,
+                    size,
+                    clock,
+                })
+            })
+            .collect();
+        self.barrier();
+        out
+    }
+
+    /// Like [`superstep`](Self::superstep) but without the trailing barrier
+    /// (for workloads whose phases end asynchronously).
+    pub fn superstep_nobarrier<T: Send>(&self, f: impl Fn(RankCtx<'_>) -> T + Sync) -> Vec<T> {
+        let size = self.size();
+        self.clocks
+            .par_iter()
+            .enumerate()
+            .map(|(rank, clock)| {
+                f(RankCtx {
+                    rank: rank as u32,
+                    size,
+                    clock,
+                })
+            })
+            .collect()
+    }
+
+    /// MPI_Barrier: every clock advances to the slowest rank plus the
+    /// collective's modeled cost. Returns the synchronized time.
+    pub fn barrier(&self) -> SimTime {
+        let cost = self.comm.barrier(self.size());
+        let max = self
+            .clocks
+            .iter()
+            .map(VirtualClock::now)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let target = max + cost;
+        for c in &self.clocks {
+            c.sync_to(target);
+        }
+        target
+    }
+
+    /// MPI_Allreduce(MAX) over one f64 per rank.
+    pub fn allreduce_max(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.clocks.len());
+        self.charge_collective(self.comm.allreduce(self.size(), 8));
+        values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// MPI_Allreduce(SUM) over one f64 per rank.
+    pub fn allreduce_sum(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.clocks.len());
+        self.charge_collective(self.comm.allreduce(self.size(), 8));
+        values.iter().sum()
+    }
+
+    /// MPI_Bcast of `bytes` from the root.
+    pub fn broadcast(&self, bytes: u64) {
+        self.charge_collective(self.comm.broadcast(self.size(), bytes));
+    }
+
+    /// MPI_Gather of `bytes_per_rank` to the root.
+    pub fn gather(&self, bytes_per_rank: u64) {
+        self.charge_collective(self.comm.gather(self.size(), bytes_per_rank));
+    }
+
+    fn charge_collective(&self, cost: SimDuration) {
+        let max = self
+            .clocks
+            .iter()
+            .map(VirtualClock::now)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let target = max + cost;
+        for c in &self.clocks {
+            c.sync_to(target);
+        }
+    }
+
+    /// Completion time of the world so far = the slowest rank's clock.
+    pub fn elapsed(&self) -> SimDuration {
+        SimDuration::from_nanos(
+            self.clocks
+                .iter()
+                .map(|c| c.now().as_nanos())
+                .max()
+                .unwrap_or(0),
+        )
+    }
+
+    /// Reset all clocks (between experiment repetitions).
+    pub fn reset(&self) {
+        for c in &self.clocks {
+            c.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superstep_runs_every_rank() {
+        let w = MpiWorld::new(64);
+        let out = w.superstep(|ctx| ctx.rank * 2);
+        assert_eq!(out.len(), 64);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u32 * 2);
+        }
+    }
+
+    #[test]
+    fn barrier_syncs_to_slowest() {
+        let w = MpiWorld::new(4);
+        w.superstep_nobarrier(|ctx| {
+            ctx.compute(SimDuration::from_secs(ctx.rank as u64));
+        });
+        w.barrier();
+        let t0 = w.clock(0).now();
+        for r in 1..4 {
+            assert_eq!(w.clock(r).now(), t0, "rank {r} not synced");
+        }
+        // Slowest rank computed 3 s.
+        assert!(t0.as_nanos() >= 3_000_000_000);
+    }
+
+    #[test]
+    fn superstep_has_implicit_barrier() {
+        let w = MpiWorld::new(8);
+        w.superstep(|ctx| ctx.compute(SimDuration::from_millis(ctx.rank as u64)));
+        let t = w.clock(0).now();
+        assert!((0..8).all(|r| w.clock(r).now() == t));
+    }
+
+    #[test]
+    fn allreduce_combines_and_charges() {
+        let w = MpiWorld::new(16);
+        let before = w.elapsed();
+        let vals: Vec<f64> = (0..16).map(|r| r as f64).collect();
+        assert_eq!(w.allreduce_max(&vals), 15.0);
+        assert_eq!(w.allreduce_sum(&vals), 120.0);
+        assert!(w.elapsed() > before);
+    }
+
+    #[test]
+    fn elapsed_is_max_clock() {
+        let w = MpiWorld::new(3);
+        w.clock(1).advance(SimDuration::from_secs(5));
+        assert_eq!(w.elapsed().as_nanos(), 5_000_000_000);
+    }
+
+    #[test]
+    fn thousands_of_virtual_ranks() {
+        let w = MpiWorld::new(4096);
+        let out = w.superstep(|ctx| {
+            ctx.compute(SimDuration::from_micros(1));
+            ctx.size
+        });
+        assert_eq!(out.len(), 4096);
+        assert!(out.iter().all(|&s| s == 4096));
+    }
+
+    #[test]
+    fn reset_zeroes_clocks() {
+        let w = MpiWorld::new(2);
+        w.superstep(|ctx| ctx.compute(SimDuration::from_secs(1)));
+        w.reset();
+        assert_eq!(w.elapsed(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let w = MpiWorld::new(32);
+            w.superstep(|ctx| ctx.compute(SimDuration::from_micros(ctx.rank as u64 + 1)));
+            w.superstep(|ctx| ctx.compute(SimDuration::from_micros(100 - ctx.rank as u64)));
+            w.elapsed().as_nanos()
+        };
+        assert_eq!(run(), run(), "virtual time must not depend on scheduling");
+    }
+}

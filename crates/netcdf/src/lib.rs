@@ -1,0 +1,362 @@
+//! `provio-netcdf` — a NetCDF-4-style API over the simulated HDF5 VOL.
+//!
+//! The paper leaves "integration with other I/O libraries" (ADIOS, NetCDF)
+//! as future work (§1.5) and notes that the model's I/O API classes "are
+//! applicable to other I/O libraries too (e.g., NetCDF)" (§4.1.2). This
+//! crate realizes that claim the same way real netCDF-4 does: the NetCDF
+//! data model (dimensions, variables, attributes) is stored *in* HDF5, so
+//! every NetCDF call lowers onto VOL operations — and a workflow using this
+//! API is tracked by the PROV-IO connector with **zero additional
+//! integration work**.
+//!
+//! Supported (the classic-model subset scientific code actually uses):
+//! dimensions (fixed + one unlimited), typed variables over dimensions,
+//! global and per-variable attributes, whole-variable and record-wise
+//! put/get.
+
+use provio_hdf5::{Data, Dataspace, Datatype, H5Error, H5Result, Handle, Hyperslab, H5};
+
+/// A NetCDF datatype (mapped onto HDF5 datatypes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NcType {
+    Int,
+    Int64,
+    Float,
+    Double,
+}
+
+impl NcType {
+    fn to_h5(self) -> Datatype {
+        match self {
+            NcType::Int => Datatype::Int32,
+            NcType::Int64 => Datatype::Int64,
+            NcType::Float => Datatype::Float32,
+            NcType::Double => Datatype::Float64,
+        }
+    }
+
+    pub fn size(self) -> u64 {
+        self.to_h5().size()
+    }
+}
+
+/// A dimension: a name and a length (`None` = unlimited/record dimension).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dim {
+    pub name: String,
+    pub len: Option<u64>,
+}
+
+/// A defined variable.
+#[derive(Debug, Clone)]
+pub struct Var {
+    pub name: String,
+    pub nctype: NcType,
+    pub dims: Vec<String>,
+    handle: Handle,
+}
+
+/// An open NetCDF file (backed by an HDF5 file through the VOL stack).
+pub struct NcFile<'h> {
+    h5: &'h H5,
+    file: Handle,
+    dims: Vec<Dim>,
+    vars: Vec<Var>,
+    /// Current length of the unlimited dimension (number of records).
+    num_records: u64,
+}
+
+impl<'h> NcFile<'h> {
+    /// nc_create: make a new file.
+    pub fn create(h5: &'h H5, path: &str) -> H5Result<Self> {
+        let file = h5.create_file(path)?;
+        // Mark the file as NetCDF-flavored, like netCDF-4's `_NCProperties`.
+        let a = h5.create_attr(
+            file,
+            "_NCProperties",
+            Datatype::VarString,
+            b"version=2,provio-netcdf=0.1",
+        )?;
+        h5.close_attr(a)?;
+        Ok(NcFile {
+            h5,
+            file,
+            dims: Vec::new(),
+            vars: Vec::new(),
+            num_records: 0,
+        })
+    }
+
+    /// nc_def_dim.
+    pub fn def_dim(&mut self, name: &str, len: Option<u64>) -> H5Result<()> {
+        if self.dims.iter().any(|d| d.name == name) {
+            return Err(H5Error::AlreadyExists(name.to_string()));
+        }
+        if len.is_none() && self.dims.iter().any(|d| d.len.is_none()) {
+            // Classic model: at most one unlimited dimension.
+            return Err(H5Error::NotExtendable);
+        }
+        // Record the dimension as file metadata (netCDF-4 uses dimension
+        // scales; an attribute is observationally equivalent here).
+        let a = self.h5.create_attr(
+            self.file,
+            &format!("_dim_{name}"),
+            Datatype::VarString,
+            len.map(|l| l.to_string())
+                .unwrap_or_else(|| "unlimited".to_string())
+                .as_bytes(),
+        )?;
+        self.h5.close_attr(a)?;
+        self.dims.push(Dim {
+            name: name.to_string(),
+            len,
+        });
+        Ok(())
+    }
+
+    fn dim(&self, name: &str) -> H5Result<&Dim> {
+        self.dims
+            .iter()
+            .find(|d| d.name == name)
+            .ok_or_else(|| H5Error::NotFound(format!("dimension {name}")))
+    }
+
+    /// nc_def_var: define a variable over dimensions (the unlimited
+    /// dimension, if used, must come first — the classic-model rule).
+    pub fn def_var(&mut self, name: &str, nctype: NcType, dims: &[&str]) -> H5Result<()> {
+        if self.vars.iter().any(|v| v.name == name) {
+            return Err(H5Error::AlreadyExists(name.to_string()));
+        }
+        let mut shape = Vec::with_capacity(dims.len());
+        let mut maxdims = Vec::with_capacity(dims.len());
+        for (i, dname) in dims.iter().enumerate() {
+            let d = self.dim(dname)?;
+            match d.len {
+                Some(l) => {
+                    shape.push(l);
+                    maxdims.push(Some(l));
+                }
+                None => {
+                    if i != 0 {
+                        return Err(H5Error::NotExtendable);
+                    }
+                    shape.push(0);
+                    maxdims.push(None);
+                }
+            }
+        }
+        let space = if dims.is_empty() {
+            Dataspace::scalar()
+        } else {
+            Dataspace::with_max(&shape, &maxdims)?
+        };
+        let handle = self
+            .h5
+            .create_dataset(self.file, name, nctype.to_h5(), space)?;
+        self.vars.push(Var {
+            name: name.to_string(),
+            nctype,
+            dims: dims.iter().map(|s| s.to_string()).collect(),
+            handle,
+        });
+        Ok(())
+    }
+
+    fn var(&self, name: &str) -> H5Result<&Var> {
+        self.vars
+            .iter()
+            .find(|v| v.name == name)
+            .ok_or_else(|| H5Error::NotFound(format!("variable {name}")))
+    }
+
+    /// Shape of a variable right now (unlimited dim reflects records).
+    pub fn var_shape(&self, name: &str) -> H5Result<Vec<u64>> {
+        let v = self.var(name)?;
+        Ok(self
+            .h5
+            .object_info(v.handle)?
+            .dims
+            .expect("variables are datasets"))
+    }
+
+    /// nc_put_att (global).
+    pub fn put_global_att(&self, name: &str, value: &str) -> H5Result<()> {
+        let a = self
+            .h5
+            .create_attr(self.file, name, Datatype::VarString, value.as_bytes())?;
+        self.h5.close_attr(a)
+    }
+
+    /// nc_put_att on a variable.
+    pub fn put_var_att(&self, var: &str, name: &str, value: &str) -> H5Result<()> {
+        let v = self.var(var)?;
+        let a = self
+            .h5
+            .create_attr(v.handle, name, Datatype::VarString, value.as_bytes())?;
+        self.h5.close_attr(a)
+    }
+
+    /// nc_get_att on a variable.
+    pub fn get_var_att(&self, var: &str, name: &str) -> H5Result<String> {
+        let v = self.var(var)?;
+        let bytes = self.h5.attr_value(v.handle, name)?;
+        String::from_utf8(bytes).map_err(|_| H5Error::BadName(name.to_string()))
+    }
+
+    /// nc_put_var: write a whole (fixed-shape) variable.
+    pub fn put_var(&self, name: &str, data: &Data) -> H5Result<()> {
+        let v = self.var(name)?;
+        let shape = self.var_shape(name)?;
+        let space = Dataspace::fixed(&shape);
+        self.h5.write(v.handle, &Hyperslab::all(&space), data)
+    }
+
+    /// nc_get_var: read a whole variable.
+    pub fn get_var(&self, name: &str) -> H5Result<Data> {
+        let v = self.var(name)?;
+        let shape = self.var_shape(name)?;
+        let space = Dataspace::fixed(&shape);
+        self.h5.read(v.handle, &Hyperslab::all(&space))
+    }
+
+    /// Append one record along the unlimited dimension of `name` (grows
+    /// every record variable in lock-step, like nc_put_vara at the record
+    /// boundary).
+    pub fn put_record(&mut self, name: &str, data: &Data) -> H5Result<()> {
+        let (handle, mut shape, record_elems) = {
+            let v = self.var(name)?;
+            let d0 = v
+                .dims
+                .first()
+                .and_then(|d| self.dims.iter().find(|x| &x.name == d))
+                .ok_or(H5Error::NotExtendable)?;
+            if d0.len.is_some() {
+                return Err(H5Error::NotExtendable);
+            }
+            let shape = self.var_shape(name)?;
+            let record_elems: u64 = shape[1..].iter().product::<u64>().max(1);
+            (v.handle, shape, record_elems)
+        };
+        let record = shape[0];
+        shape[0] = record + 1;
+        self.h5.extend_dataset(handle, &shape)?;
+        let mut start = vec![0u64; shape.len()];
+        start[0] = record;
+        let mut count = shape.clone();
+        count[0] = 1;
+        self.h5
+            .write(handle, &Hyperslab::new(&start, &count), data)?;
+        let _ = record_elems;
+        self.num_records = self.num_records.max(record + 1);
+        Ok(())
+    }
+
+    /// Records written to the unlimited dimension so far.
+    pub fn num_records(&self) -> u64 {
+        self.num_records
+    }
+
+    /// nc_close.
+    pub fn close(self) -> H5Result<()> {
+        for v in &self.vars {
+            self.h5.close_dataset(v.handle)?;
+        }
+        self.h5.flush(self.file)?;
+        self.h5.close_file(self.file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provio_hdf5::NativeVol;
+    use provio_hpcfs::{Dispatcher, FileSystem, FsSession, LustreConfig};
+    use std::sync::Arc;
+
+    fn h5() -> H5 {
+        let fs = FileSystem::new(LustreConfig::default());
+        let vol = Arc::new(NativeVol::new(Arc::clone(&fs)));
+        let s = Arc::new(FsSession::new(
+            fs,
+            1,
+            "nc",
+            "ncgen",
+            provio_simrt::VirtualClock::new(),
+            Dispatcher::new(),
+        ));
+        H5::new(s, vol)
+    }
+
+    #[test]
+    fn classic_model_round_trip() {
+        let h5 = h5();
+        let mut nc = NcFile::create(&h5, "/climate.nc").unwrap();
+        nc.def_dim("lat", Some(4)).unwrap();
+        nc.def_dim("lon", Some(3)).unwrap();
+        nc.def_var("temperature", NcType::Double, &["lat", "lon"]).unwrap();
+        nc.put_global_att("institution", "LBNL").unwrap();
+        nc.put_var_att("temperature", "units", "K").unwrap();
+
+        let values: Vec<f64> = (0..12).map(|i| 273.0 + i as f64).collect();
+        nc.put_var("temperature", &Data::from_f64s(&values)).unwrap();
+        let got = nc.get_var("temperature").unwrap();
+        assert_eq!(got.to_f64s().unwrap(), values);
+        assert_eq!(nc.get_var_att("temperature", "units").unwrap(), "K");
+        nc.close().unwrap();
+    }
+
+    #[test]
+    fn record_dimension_appends() {
+        let h5 = h5();
+        let mut nc = NcFile::create(&h5, "/ts.nc").unwrap();
+        nc.def_dim("time", None).unwrap();
+        nc.def_dim("x", Some(2)).unwrap();
+        nc.def_var("v", NcType::Double, &["time", "x"]).unwrap();
+        for t in 0..5 {
+            nc.put_record("v", &Data::from_f64s(&[t as f64, -(t as f64)]))
+                .unwrap();
+        }
+        assert_eq!(nc.num_records(), 5);
+        assert_eq!(nc.var_shape("v").unwrap(), vec![5, 2]);
+        let all = nc.get_var("v").unwrap().to_f64s().unwrap();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[8], 4.0);
+        assert_eq!(all[9], -4.0);
+    }
+
+    #[test]
+    fn classic_model_rules_enforced() {
+        let h5 = h5();
+        let mut nc = NcFile::create(&h5, "/rules.nc").unwrap();
+        nc.def_dim("t", None).unwrap();
+        // Only one unlimited dimension.
+        assert_eq!(nc.def_dim("t2", None), Err(H5Error::NotExtendable));
+        nc.def_dim("x", Some(4)).unwrap();
+        // Unlimited must be first.
+        assert_eq!(
+            nc.def_var("bad", NcType::Int, &["x", "t"]),
+            Err(H5Error::NotExtendable)
+        );
+        // Unknown dimension.
+        assert!(matches!(
+            nc.def_var("worse", NcType::Int, &["zz"]),
+            Err(H5Error::NotFound(_))
+        ));
+        // Duplicates.
+        assert!(nc.def_dim("x", Some(4)).is_err());
+        nc.def_var("ok", NcType::Int, &["t", "x"]).unwrap();
+        assert!(nc.def_var("ok", NcType::Int, &["x"]).is_err());
+    }
+
+    #[test]
+    fn record_append_on_fixed_var_rejected() {
+        let h5 = h5();
+        let mut nc = NcFile::create(&h5, "/fixed.nc").unwrap();
+        nc.def_dim("x", Some(2)).unwrap();
+        nc.def_var("v", NcType::Float, &["x"]).unwrap();
+        assert_eq!(
+            nc.put_record("v", &Data::synthetic(8)),
+            Err(H5Error::NotExtendable)
+        );
+    }
+}

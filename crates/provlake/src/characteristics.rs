@@ -1,0 +1,77 @@
+//! Table 4: basic characteristics of the compared frameworks.
+
+/// How a framework integrates with workflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transparency {
+    /// Users must instrument their source with APIs.
+    No,
+    /// I/O-library-integrated capture needs no source changes; extensible
+    /// needs do (PROV-IO).
+    Hybrid,
+}
+
+impl Transparency {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Transparency::No => "No",
+            Transparency::Hybrid => "Hybrid",
+        }
+    }
+}
+
+/// One row of the paper's Table 4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameworkInfo {
+    pub name: &'static str,
+    pub base_model: &'static str,
+    pub languages: &'static [&'static str],
+    pub transparency: Transparency,
+}
+
+/// The three frameworks compared in §6.4.
+pub fn framework_characteristics() -> Vec<FrameworkInfo> {
+    vec![
+        FrameworkInfo {
+            name: "Komadu",
+            base_model: "PROV-DM",
+            languages: &["Java"],
+            transparency: Transparency::No,
+        },
+        FrameworkInfo {
+            name: "ProvLake",
+            base_model: "PROV-DM",
+            languages: &["Python"],
+            transparency: Transparency::No,
+        },
+        FrameworkInfo {
+            name: "PROV-IO",
+            base_model: "PROV-DM",
+            languages: &["C/C++", "Python", "Java"],
+            transparency: Transparency::Hybrid,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_shape() {
+        let rows = framework_characteristics();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.base_model == "PROV-DM"));
+        let provio = rows.iter().find(|r| r.name == "PROV-IO").unwrap();
+        assert_eq!(provio.transparency, Transparency::Hybrid);
+        assert_eq!(provio.languages.len(), 3);
+        let provlake = rows.iter().find(|r| r.name == "ProvLake").unwrap();
+        assert_eq!(provlake.transparency, Transparency::No);
+        assert_eq!(provlake.languages, &["Python"]);
+    }
+
+    #[test]
+    fn transparency_strings() {
+        assert_eq!(Transparency::Hybrid.as_str(), "Hybrid");
+        assert_eq!(Transparency::No.as_str(), "No");
+    }
+}

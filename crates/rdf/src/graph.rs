@@ -1,0 +1,512 @@
+//! The in-memory graph: term interning plus SPO/POS/OSP indexes.
+//!
+//! The tracker's write path is append-heavy (hundreds of thousands of inserts
+//! per process in the H5bench experiments) and the query path is
+//! lookup-heavy, so terms are interned once into [`TermId`]s and triples are
+//! stored as id-triples in three hash indexes. All matching is done on ids;
+//! owned [`Triple`]s are only materialized at the API boundary (cheap —
+//! term payloads are `Arc<str>`).
+
+use crate::term::{Iri, Subject, Term};
+use crate::triple::{Triple, TriplePattern};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+/// Dense id of an interned term within one [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+#[derive(Debug, Default, Clone)]
+struct Interner {
+    terms: Vec<Term>,
+    ids: HashMap<Term, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, t: &Term) -> TermId {
+        if let Some(&id) = self.ids.get(t) {
+            return TermId(id);
+        }
+        let id = self.terms.len() as u32;
+        self.terms.push(t.clone());
+        self.ids.insert(t.clone(), id);
+        TermId(id)
+    }
+
+    fn get(&self, t: &Term) -> Option<TermId> {
+        self.ids.get(t).copied().map(TermId)
+    }
+
+    fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.0 as usize]
+    }
+}
+
+type Pair = (u32, u32);
+
+/// An indexed RDF graph.
+#[derive(Debug, Default, Clone)]
+pub struct Graph {
+    interner: Interner,
+    /// Canonical triple set (s, p, o) by id.
+    triples: HashSet<(u32, u32, u32)>,
+    /// s → [(p, o)]
+    spo: HashMap<u32, Vec<Pair>>,
+    /// p → [(o, s)]
+    pos: HashMap<u32, Vec<Pair>>,
+    /// o → [(s, p)]
+    osp: HashMap<u32, Vec<Pair>>,
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Number of distinct interned terms.
+    pub fn term_count(&self) -> usize {
+        self.interner.terms.len()
+    }
+
+    /// Insert a triple. Returns `false` if it was already present.
+    pub fn insert(&mut self, t: &Triple) -> bool {
+        let s = self.interner.intern(&Term::from(t.subject.clone()));
+        let p = self.interner.intern(&Term::Iri(t.predicate.clone()));
+        let o = self.interner.intern(&t.object);
+        self.insert_ids(s, p, o)
+    }
+
+    /// Insert by pre-interned ids (hot path for bulk loads).
+    pub fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        if !self.triples.insert((s.0, p.0, o.0)) {
+            return false;
+        }
+        self.spo.entry(s.0).or_default().push((p.0, o.0));
+        self.pos.entry(p.0).or_default().push((o.0, s.0));
+        self.osp.entry(o.0).or_default().push((s.0, p.0));
+        true
+    }
+
+    /// Intern a term without inserting any triple.
+    pub fn intern(&mut self, t: &Term) -> TermId {
+        self.interner.intern(t)
+    }
+
+    /// Look up a term's id if it is interned.
+    pub fn term_id(&self, t: &Term) -> Option<TermId> {
+        self.interner.get(t)
+    }
+
+    /// The term behind an id. Panics on a foreign id.
+    pub fn term(&self, id: TermId) -> &Term {
+        self.interner.term(id)
+    }
+
+    pub fn contains(&self, t: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.interner.get(&Term::from(t.subject.clone())),
+            self.interner.get(&Term::Iri(t.predicate.clone())),
+            self.interner.get(&t.object),
+        ) else {
+            return false;
+        };
+        self.triples.contains(&(s.0, p.0, o.0))
+    }
+
+    /// Remove a triple. Returns `true` if it was present.
+    pub fn remove(&mut self, t: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.interner.get(&Term::from(t.subject.clone())),
+            self.interner.get(&Term::Iri(t.predicate.clone())),
+            self.interner.get(&t.object),
+        ) else {
+            return false;
+        };
+        if !self.triples.remove(&(s.0, p.0, o.0)) {
+            return false;
+        }
+        fn drop_pair(index: &mut HashMap<u32, Vec<Pair>>, key: u32, pair: Pair) {
+            if let Entry::Occupied(mut e) = index.entry(key) {
+                let v = e.get_mut();
+                if let Some(pos) = v.iter().position(|&x| x == pair) {
+                    v.swap_remove(pos);
+                }
+                if v.is_empty() {
+                    e.remove();
+                }
+            }
+        }
+        drop_pair(&mut self.spo, s.0, (p.0, o.0));
+        drop_pair(&mut self.pos, p.0, (o.0, s.0));
+        drop_pair(&mut self.osp, o.0, (s.0, p.0));
+        true
+    }
+
+    /// Iterate all triples (materialized; order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.triples.iter().map(move |&(s, p, o)| self.rebuild(s, p, o))
+    }
+
+    /// Iterate all triples as id tuples.
+    pub fn iter_ids(&self) -> impl Iterator<Item = (TermId, TermId, TermId)> + '_ {
+        self.triples
+            .iter()
+            .map(|&(s, p, o)| (TermId(s), TermId(p), TermId(o)))
+    }
+
+    fn rebuild(&self, s: u32, p: u32, o: u32) -> Triple {
+        let subject = self
+            .interner
+            .term(TermId(s))
+            .as_subject()
+            .expect("subject position holds IRI or blank");
+        let Term::Iri(predicate) = self.interner.term(TermId(p)).clone() else {
+            panic!("predicate position holds IRI");
+        };
+        Triple {
+            subject,
+            predicate,
+            object: self.interner.term(TermId(o)).clone(),
+        }
+    }
+
+    /// Match a pattern, choosing the most selective index available.
+    pub fn match_pattern(&self, pat: &TriplePattern) -> Vec<Triple> {
+        self.match_ids(
+            pat.subject
+                .as_ref()
+                .map(|s| self.interner.get(&Term::from(s.clone()))),
+            pat.predicate
+                .as_ref()
+                .map(|p| self.interner.get(&Term::Iri(p.clone()))),
+            pat.object.as_ref().map(|o| self.interner.get(o)),
+        )
+        .into_iter()
+        .map(|(s, p, o)| self.rebuild(s.0, p.0, o.0))
+        .collect()
+    }
+
+    /// Id-level matching. Each position is `None` (wildcard) or
+    /// `Some(Option<TermId>)` — `Some(None)` means the pattern binds a term
+    /// that is not interned here, so nothing can match.
+    pub fn match_ids(
+        &self,
+        s: Option<Option<TermId>>,
+        p: Option<Option<TermId>>,
+        o: Option<Option<TermId>>,
+    ) -> Vec<(TermId, TermId, TermId)> {
+        // A bound-but-unknown term can never match.
+        let s = match s {
+            Some(None) => return Vec::new(),
+            Some(Some(id)) => Some(id.0),
+            None => None,
+        };
+        let p = match p {
+            Some(None) => return Vec::new(),
+            Some(Some(id)) => Some(id.0),
+            None => None,
+        };
+        let o = match o {
+            Some(None) => return Vec::new(),
+            Some(Some(id)) => Some(id.0),
+            None => None,
+        };
+
+        let mut out = Vec::new();
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.triples.contains(&(s, p, o)) {
+                    out.push((TermId(s), TermId(p), TermId(o)));
+                }
+            }
+            (Some(s), p, o) => {
+                if let Some(pairs) = self.spo.get(&s) {
+                    for &(tp, to) in pairs {
+                        if p.map_or(true, |p| p == tp) && o.map_or(true, |o| o == to) {
+                            out.push((TermId(s), TermId(tp), TermId(to)));
+                        }
+                    }
+                }
+            }
+            (None, Some(p), o) => {
+                if let Some(pairs) = self.pos.get(&p) {
+                    for &(to, ts) in pairs {
+                        if o.map_or(true, |o| o == to) {
+                            out.push((TermId(ts), TermId(p), TermId(to)));
+                        }
+                    }
+                }
+            }
+            (None, None, Some(o)) => {
+                if let Some(pairs) = self.osp.get(&o) {
+                    for &(ts, tp) in pairs {
+                        out.push((TermId(ts), TermId(tp), TermId(o)));
+                    }
+                }
+            }
+            (None, None, None) => {
+                out.extend(
+                    self.triples
+                        .iter()
+                        .map(|&(s, p, o)| (TermId(s), TermId(p), TermId(o))),
+                );
+            }
+        }
+        out
+    }
+
+    /// Estimated number of matches for a pattern shape, used for join
+    /// ordering without materializing results.
+    pub fn cardinality_estimate(
+        &self,
+        s: Option<Option<TermId>>,
+        p: Option<Option<TermId>>,
+        o: Option<Option<TermId>>,
+    ) -> usize {
+        if matches!(s, Some(None)) || matches!(p, Some(None)) || matches!(o, Some(None)) {
+            return 0;
+        }
+        let s = s.flatten();
+        let p = p.flatten();
+        let o = o.flatten();
+        match (s, p, o) {
+            (Some(_), Some(_), Some(_)) => 1,
+            (Some(s), _, _) => self.spo.get(&s.0).map_or(0, Vec::len),
+            (None, Some(p), _) => self.pos.get(&p.0).map_or(0, Vec::len),
+            (None, None, Some(o)) => self.osp.get(&o.0).map_or(0, Vec::len),
+            (None, None, None) => self.len(),
+        }
+    }
+
+    /// All distinct subjects, in insertion-id order.
+    pub fn subjects(&self) -> Vec<Subject> {
+        let mut ids: Vec<u32> = self.spo.keys().copied().collect();
+        ids.sort_unstable();
+        ids.iter()
+            .filter_map(|&s| self.interner.term(TermId(s)).as_subject())
+            .collect()
+    }
+
+    /// All distinct predicates.
+    pub fn predicates(&self) -> Vec<Iri> {
+        let mut ids: Vec<u32> = self.pos.keys().copied().collect();
+        ids.sort_unstable();
+        ids.iter()
+            .filter_map(|&p| match self.interner.term(TermId(p)) {
+                Term::Iri(i) => Some(i.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Merge all triples of `other` into `self`. Duplicate triples collapse,
+    /// which is what makes the per-process sub-graph strategy of the paper's
+    /// provenance store safe: GUID-keyed nodes appearing in several
+    /// sub-graphs merge without duplication.
+    pub fn merge(&mut self, other: &Graph) -> usize {
+        let mut added = 0;
+        for t in other.iter() {
+            if self.insert(&t) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Objects reachable from `subject` via `predicate`.
+    pub fn objects(&self, subject: &Subject, predicate: &Iri) -> Vec<Term> {
+        self.match_pattern(
+            &TriplePattern::any()
+                .with_subject(subject.clone())
+                .with_predicate(predicate.clone()),
+        )
+        .into_iter()
+        .map(|t| t.object)
+        .collect()
+    }
+
+    /// Subjects with `predicate` = `object`.
+    pub fn subjects_with(&self, predicate: &Iri, object: &Term) -> Vec<Subject> {
+        self.match_pattern(
+            &TriplePattern::any()
+                .with_predicate(predicate.clone())
+                .with_object(object.clone()),
+        )
+        .into_iter()
+        .map(|t| t.subject)
+        .collect()
+    }
+}
+
+impl Extend<Triple> for Graph {
+    fn extend<I: IntoIterator<Item = Triple>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert(&t);
+        }
+    }
+}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        let mut g = Graph::new();
+        g.extend(iter);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+
+    fn tr(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Subject::iri(s), Iri::new(p), Term::iri(o))
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut g = Graph::new();
+        assert!(g.insert(&tr("urn:a", "urn:p", "urn:b")));
+        assert!(!g.insert(&tr("urn:a", "urn:p", "urn:b")));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn contains_and_remove() {
+        let mut g = Graph::new();
+        let t = tr("urn:a", "urn:p", "urn:b");
+        g.insert(&t);
+        assert!(g.contains(&t));
+        assert!(g.remove(&t));
+        assert!(!g.contains(&t));
+        assert!(!g.remove(&t));
+        assert_eq!(g.len(), 0);
+        // Indexes are cleaned: a fresh match finds nothing.
+        assert!(g.match_pattern(&TriplePattern::any()).is_empty());
+    }
+
+    #[test]
+    fn match_by_each_position() {
+        let mut g = Graph::new();
+        g.insert(&tr("urn:a", "urn:p", "urn:b"));
+        g.insert(&tr("urn:a", "urn:q", "urn:c"));
+        g.insert(&tr("urn:x", "urn:p", "urn:b"));
+
+        let by_s = g.match_pattern(&TriplePattern::any().with_subject(Subject::iri("urn:a")));
+        assert_eq!(by_s.len(), 2);
+
+        let by_p = g.match_pattern(&TriplePattern::any().with_predicate(Iri::new("urn:p")));
+        assert_eq!(by_p.len(), 2);
+
+        let by_o = g.match_pattern(&TriplePattern::any().with_object(Term::iri("urn:b")));
+        assert_eq!(by_o.len(), 2);
+
+        let exact = g.match_pattern(
+            &TriplePattern::any()
+                .with_subject(Subject::iri("urn:x"))
+                .with_predicate(Iri::new("urn:p"))
+                .with_object(Term::iri("urn:b")),
+        );
+        assert_eq!(exact.len(), 1);
+    }
+
+    #[test]
+    fn match_unknown_term_is_empty() {
+        let mut g = Graph::new();
+        g.insert(&tr("urn:a", "urn:p", "urn:b"));
+        let got =
+            g.match_pattern(&TriplePattern::any().with_subject(Subject::iri("urn:missing")));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn literals_as_objects() {
+        let mut g = Graph::new();
+        g.insert(&Triple::new(
+            Subject::iri("urn:a"),
+            Iri::new("urn:val"),
+            Literal::integer(5),
+        ));
+        let objs = g.objects(&Subject::iri("urn:a"), &Iri::new("urn:val"));
+        assert_eq!(objs.len(), 1);
+        assert_eq!(objs[0].as_literal().unwrap().as_i64(), Some(5));
+    }
+
+    #[test]
+    fn merge_collapses_duplicates() {
+        let mut a = Graph::new();
+        a.insert(&tr("urn:a", "urn:p", "urn:b"));
+        a.insert(&tr("urn:a", "urn:p", "urn:c"));
+        let mut b = Graph::new();
+        b.insert(&tr("urn:a", "urn:p", "urn:b"));
+        b.insert(&tr("urn:z", "urn:p", "urn:b"));
+        let added = a.merge(&b);
+        assert_eq!(added, 1);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn subjects_and_predicates_enumerations() {
+        let mut g = Graph::new();
+        g.insert(&tr("urn:a", "urn:p", "urn:b"));
+        g.insert(&tr("urn:b", "urn:q", "urn:c"));
+        assert_eq!(g.subjects().len(), 2);
+        assert_eq!(g.predicates().len(), 2);
+    }
+
+    #[test]
+    fn cardinality_estimates_order_correctly() {
+        let mut g = Graph::new();
+        for i in 0..10 {
+            g.insert(&tr("urn:hub", "urn:p", &format!("urn:o{i}")));
+        }
+        g.insert(&tr("urn:solo", "urn:q", "urn:x"));
+        let hub = g.term_id(&Term::iri("urn:hub"));
+        let solo = g.term_id(&Term::iri("urn:solo"));
+        let est_hub = g.cardinality_estimate(Some(hub), None, None);
+        let est_solo = g.cardinality_estimate(Some(solo), None, None);
+        assert!(est_hub > est_solo);
+        assert_eq!(g.cardinality_estimate(None, None, None), g.len());
+        // Unknown bound term → 0.
+        assert_eq!(g.cardinality_estimate(Some(None), None, None), 0);
+    }
+
+    #[test]
+    fn iter_roundtrips_all_triples() {
+        let mut g = Graph::new();
+        let ts = vec![
+            tr("urn:a", "urn:p", "urn:b"),
+            tr("urn:b", "urn:p", "urn:c"),
+            tr("urn:c", "urn:q", "urn:a"),
+        ];
+        for t in &ts {
+            g.insert(t);
+        }
+        let mut got: Vec<String> = g.iter().map(|t| t.to_string()).collect();
+        let mut want: Vec<String> = ts.iter().map(|t| t.to_string()).collect();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn blank_subjects_supported() {
+        let mut g = Graph::new();
+        let t = Triple::new(
+            crate::term::BlankNode::new("b0"),
+            Iri::new("urn:p"),
+            Term::iri("urn:x"),
+        );
+        g.insert(&t);
+        assert!(g.contains(&t));
+        assert_eq!(g.subjects().len(), 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! N-Triples serialization and parsing (one triple per line, no prefixes).
+//!
+//! Redland supports several on-disk formats; PROV-IO's prototype uses Turtle
+//! but the store is format-pluggable (§5), so we provide N-Triples as the
+//! second format and use it for line-oriented streaming in tests.
+
+use crate::term::{
+    escape_literal, unescape_literal, BlankNode, Iri, Literal, Subject, Term,
+};
+use crate::triple::Triple;
+use crate::{Graph, ParseError};
+use std::fmt::Write as _;
+
+/// Serialize `graph` as N-Triples. Lines are sorted for determinism.
+pub fn serialize(graph: &Graph) -> String {
+    let mut lines: Vec<String> = graph.iter().map(|t| triple_line(&t)).collect();
+    lines.sort();
+    let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+    for l in lines {
+        let _ = writeln!(out, "{l}");
+    }
+    out
+}
+
+fn triple_line(t: &Triple) -> String {
+    format!("{} {} {} .", subject_str(&t.subject), t.predicate, term_str(&t.object))
+}
+
+fn subject_str(s: &Subject) -> String {
+    match s {
+        Subject::Iri(i) => i.to_string(),
+        Subject::Blank(b) => b.to_string(),
+    }
+}
+
+fn term_str(t: &Term) -> String {
+    match t {
+        Term::Iri(i) => i.to_string(),
+        Term::Blank(b) => b.to_string(),
+        Term::Literal(l) => {
+            let mut s = format!("\"{}\"", escape_literal(l.lexical()));
+            if let Some(dt) = l.datatype() {
+                let _ = write!(s, "^^{dt}");
+            } else if let Some(lang) = l.lang() {
+                let _ = write!(s, "@{lang}");
+            }
+            s
+        }
+    }
+}
+
+/// Parse an N-Triples document into a new graph.
+pub fn parse(src: &str) -> Result<Graph, ParseError> {
+    let mut g = Graph::new();
+    parse_into(src, &mut g)?;
+    Ok(g)
+}
+
+/// Parse an N-Triples document, merging into `graph`.
+pub fn parse_into(src: &str, graph: &mut Graph) -> Result<(), ParseError> {
+    for (lineno, line) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let triple = parse_line(line, lineno)?;
+        graph.insert(&triple);
+    }
+    Ok(())
+}
+
+fn parse_line(line: &str, lineno: usize) -> Result<Triple, ParseError> {
+    let err = |m: &str| ParseError::new(lineno, m);
+    let mut rest = line;
+
+    let (subject, r) = parse_subject(rest, lineno)?;
+    rest = r.trim_start();
+
+    let (predicate, r) = parse_iri(rest).ok_or_else(|| err("expected predicate IRI"))?;
+    rest = r.trim_start();
+
+    let (object, r) = parse_term(rest, lineno)?;
+    rest = r.trim_start();
+
+    if rest != "." {
+        return Err(err("expected terminating '.'"));
+    }
+    Ok(Triple {
+        subject,
+        predicate,
+        object,
+    })
+}
+
+fn parse_iri(s: &str) -> Option<(Iri, &str)> {
+    let rest = s.strip_prefix('<')?;
+    let end = rest.find('>')?;
+    Some((Iri::new(&rest[..end]), &rest[end + 1..]))
+}
+
+fn parse_blank(s: &str) -> Option<(BlankNode, &str)> {
+    let rest = s.strip_prefix("_:")?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '-'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    Some((BlankNode::new(&rest[..end]), &rest[end..]))
+}
+
+fn parse_subject(s: &str, lineno: usize) -> Result<(Subject, &str), ParseError> {
+    if let Some((iri, rest)) = parse_iri(s) {
+        return Ok((Subject::Iri(iri), rest));
+    }
+    if let Some((b, rest)) = parse_blank(s) {
+        return Ok((Subject::Blank(b), rest));
+    }
+    Err(ParseError::new(lineno, "expected subject"))
+}
+
+fn parse_term(s: &str, lineno: usize) -> Result<(Term, &str), ParseError> {
+    let err = |m: &str| ParseError::new(lineno, m);
+    if let Some((iri, rest)) = parse_iri(s) {
+        return Ok((Term::Iri(iri), rest));
+    }
+    if let Some((b, rest)) = parse_blank(s) {
+        return Ok((Term::Blank(b), rest));
+    }
+    let Some(rest) = s.strip_prefix('"') else {
+        return Err(err("expected object term"));
+    };
+    // Find the closing unescaped quote.
+    let mut end = None;
+    let bytes = rest.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                end = Some(i);
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let end = end.ok_or_else(|| err("unterminated literal"))?;
+    let body =
+        unescape_literal(&rest[..end]).ok_or_else(|| err("bad escape in literal"))?;
+    let after = &rest[end + 1..];
+    if let Some(after_dt) = after.strip_prefix("^^") {
+        let (dt, r) = parse_iri(after_dt).ok_or_else(|| err("expected datatype IRI"))?;
+        return Ok((Term::Literal(Literal::typed(body, dt)), r));
+    }
+    if let Some(after_lang) = after.strip_prefix('@') {
+        let end = after_lang
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-'))
+            .unwrap_or(after_lang.len());
+        if end == 0 {
+            return Err(err("empty language tag"));
+        }
+        return Ok((
+            Term::Literal(Literal::lang_tagged(body, &after_lang[..end])),
+            &after_lang[end..],
+        ));
+    }
+    Ok((Term::Literal(Literal::plain(body)), after))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::namespace::ns;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        g.insert(&Triple::new(
+            Subject::iri("urn:s"),
+            Iri::new(ns::RDF_TYPE),
+            Term::iri(format!("{}File", ns::PROVIO)),
+        ));
+        g.insert(&Triple::new(
+            Subject::iri("urn:s"),
+            Iri::new(ns::RDFS_LABEL),
+            Literal::plain("WestSac.h5"),
+        ));
+        g.insert(&Triple::new(
+            BlankNode::new("b7"),
+            Iri::new("urn:elapsed"),
+            Literal::double(1.25),
+        ));
+        g.insert(&Triple::new(
+            Subject::iri("urn:s"),
+            Iri::new("urn:note"),
+            Literal::lang_tagged("fichier", "fr"),
+        ));
+        g
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = sample();
+        let nt = serialize(&g);
+        let g2 = parse(&nt).unwrap();
+        assert_eq!(g.len(), g2.len());
+        for t in g.iter() {
+            assert!(g2.contains(&t), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn serialization_sorted_and_line_per_triple() {
+        let nt = serialize(&sample());
+        let lines: Vec<&str> = nt.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted);
+        assert!(lines.iter().all(|l| l.ends_with(" .")));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let src = "\n# comment\n<urn:a> <urn:p> <urn:b> .\n\n";
+        assert_eq!(parse(src).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn escaped_quote_inside_literal() {
+        let src = r#"<urn:a> <urn:p> "say \"hi\"" ."#;
+        let g = parse(src).unwrap();
+        let objs = g.objects(&Subject::iri("urn:a"), &Iri::new("urn:p"));
+        assert_eq!(objs[0].as_literal().unwrap().lexical(), "say \"hi\"");
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        assert!(parse("<urn:a> <urn:p> <urn:b>").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_after_dot_content() {
+        assert!(parse("<urn:a> <urn:p> <urn:b> . extra").is_err());
+    }
+
+    #[test]
+    fn parses_typed_and_lang_literals() {
+        let src = concat!(
+            "<urn:a> <urn:n> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+            "<urn:a> <urn:l> \"hi\"@en-GB .\n",
+        );
+        let g = parse(src).unwrap();
+        assert_eq!(g.len(), 2);
+        let n = g.objects(&Subject::iri("urn:a"), &Iri::new("urn:n"));
+        assert_eq!(n[0].as_literal().unwrap().as_i64(), Some(5));
+        let l = g.objects(&Subject::iri("urn:a"), &Iri::new("urn:l"));
+        assert_eq!(l[0].as_literal().unwrap().lang(), Some("en-GB"));
+    }
+}

@@ -1,0 +1,395 @@
+//! RDF terms: IRIs, blank nodes, and literals.
+//!
+//! Terms are cheap to clone (`Arc<str>` payloads) because the tracker clones
+//! the same subject/predicate terms into many triples on the hot path.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An IRI (used for named nodes and predicates).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Iri(Arc<str>);
+
+impl Iri {
+    pub fn new(iri: impl Into<Arc<str>>) -> Self {
+        Iri(iri.into())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl From<&str> for Iri {
+    fn from(s: &str) -> Self {
+        Iri::new(s)
+    }
+}
+
+impl From<String> for Iri {
+    fn from(s: String) -> Self {
+        Iri::new(s)
+    }
+}
+
+/// A blank (anonymous) node with a document-scoped label.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlankNode(Arc<str>);
+
+impl BlankNode {
+    pub fn new(label: impl Into<Arc<str>>) -> Self {
+        BlankNode(label.into())
+    }
+
+    pub fn label(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:{}", self.0)
+    }
+}
+
+/// A literal: lexical form plus an optional datatype IRI or language tag.
+///
+/// Exactly one of `datatype`/`lang` may be set; a plain literal has neither
+/// (it is implicitly `xsd:string`, which we do not materialize, matching
+/// Turtle's compact form).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    lexical: Arc<str>,
+    datatype: Option<Iri>,
+    lang: Option<Arc<str>>,
+}
+
+impl Literal {
+    /// A plain string literal.
+    pub fn plain(lexical: impl Into<Arc<str>>) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            lang: None,
+        }
+    }
+
+    /// A literal with an explicit datatype.
+    pub fn typed(lexical: impl Into<Arc<str>>, datatype: Iri) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            datatype: Some(datatype),
+            lang: None,
+        }
+    }
+
+    /// A language-tagged string.
+    pub fn lang_tagged(lexical: impl Into<Arc<str>>, lang: impl Into<Arc<str>>) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            lang: Some(lang.into()),
+        }
+    }
+
+    /// An `xsd:integer` literal.
+    pub fn integer(v: i64) -> Self {
+        Literal::typed(v.to_string(), Iri::new(crate::namespace::ns::XSD_INTEGER))
+    }
+
+    /// An `xsd:double` literal.
+    pub fn double(v: f64) -> Self {
+        Literal::typed(format!("{v:?}"), Iri::new(crate::namespace::ns::XSD_DOUBLE))
+    }
+
+    /// An `xsd:boolean` literal.
+    pub fn boolean(v: bool) -> Self {
+        Literal::typed(v.to_string(), Iri::new(crate::namespace::ns::XSD_BOOLEAN))
+    }
+
+    pub fn lexical(&self) -> &str {
+        &self.lexical
+    }
+
+    pub fn datatype(&self) -> Option<&Iri> {
+        self.datatype.as_ref()
+    }
+
+    pub fn lang(&self) -> Option<&str> {
+        self.lang.as_deref()
+    }
+
+    /// Parse the lexical form as an integer if the datatype is numeric (or
+    /// absent and the form happens to parse).
+    pub fn as_i64(&self) -> Option<i64> {
+        self.lexical.parse().ok()
+    }
+
+    /// Parse the lexical form as a double.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.lexical.parse().ok()
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{}\"", escape_literal(&self.lexical))?;
+        if let Some(dt) = &self.datatype {
+            write!(f, "^^{}", dt)?;
+        } else if let Some(lang) = &self.lang {
+            write!(f, "@{}", lang)?;
+        }
+        Ok(())
+    }
+}
+
+/// Escape a literal's lexical form for Turtle/N-Triples double-quoted strings.
+pub fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Unescape a double-quoted string body. Returns `None` on a malformed
+/// escape sequence.
+pub fn unescape_literal(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let v = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(v)?);
+            }
+            'U' => {
+                let hex: String = chars.by_ref().take(8).collect();
+                if hex.len() != 8 {
+                    return None;
+                }
+                let v = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(v)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// A triple subject: an IRI or a blank node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Subject {
+    Iri(Iri),
+    Blank(BlankNode),
+}
+
+impl Subject {
+    pub fn iri(s: impl Into<Arc<str>>) -> Self {
+        Subject::Iri(Iri::new(s))
+    }
+
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Subject::Iri(i) => Some(i),
+            Subject::Blank(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subject::Iri(i) => i.fmt(f),
+            Subject::Blank(b) => b.fmt(f),
+        }
+    }
+}
+
+impl From<Iri> for Subject {
+    fn from(i: Iri) -> Self {
+        Subject::Iri(i)
+    }
+}
+
+impl From<BlankNode> for Subject {
+    fn from(b: BlankNode) -> Self {
+        Subject::Blank(b)
+    }
+}
+
+/// Any RDF term (the object position admits all three kinds).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    Iri(Iri),
+    Blank(BlankNode),
+    Literal(Literal),
+}
+
+impl Term {
+    pub fn iri(s: impl Into<Arc<str>>) -> Self {
+        Term::Iri(Iri::new(s))
+    }
+
+    pub fn plain(s: impl Into<Arc<str>>) -> Self {
+        Term::Literal(Literal::plain(s))
+    }
+
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    pub fn as_subject(&self) -> Option<Subject> {
+        match self {
+            Term::Iri(i) => Some(Subject::Iri(i.clone())),
+            Term::Blank(b) => Some(Subject::Blank(b.clone())),
+            Term::Literal(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(i) => i.fmt(f),
+            Term::Blank(b) => b.fmt(f),
+            Term::Literal(l) => l.fmt(f),
+        }
+    }
+}
+
+impl From<Iri> for Term {
+    fn from(i: Iri) -> Self {
+        Term::Iri(i)
+    }
+}
+
+impl From<BlankNode> for Term {
+    fn from(b: BlankNode) -> Self {
+        Term::Blank(b)
+    }
+}
+
+impl From<Literal> for Term {
+    fn from(l: Literal) -> Self {
+        Term::Literal(l)
+    }
+}
+
+impl From<Subject> for Term {
+    fn from(s: Subject) -> Self {
+        match s {
+            Subject::Iri(i) => Term::Iri(i),
+            Subject::Blank(b) => Term::Blank(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_display_wraps_in_angles() {
+        assert_eq!(Iri::new("http://x/a").to_string(), "<http://x/a>");
+    }
+
+    #[test]
+    fn blank_display() {
+        assert_eq!(BlankNode::new("b1").to_string(), "_:b1");
+    }
+
+    #[test]
+    fn plain_literal_display() {
+        assert_eq!(Literal::plain("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn typed_literal_display() {
+        assert_eq!(
+            Literal::integer(42).to_string(),
+            "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+    }
+
+    #[test]
+    fn lang_literal_display() {
+        assert_eq!(
+            Literal::lang_tagged("chat", "fr").to_string(),
+            "\"chat\"@fr"
+        );
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        let nasty = "a\"b\\c\nd\te\rf";
+        let escaped = escape_literal(nasty);
+        assert!(!escaped.contains('\n'));
+        assert_eq!(unescape_literal(&escaped).unwrap(), nasty);
+    }
+
+    #[test]
+    fn unescape_unicode() {
+        assert_eq!(unescape_literal("\\u0041").unwrap(), "A");
+        assert_eq!(unescape_literal("\\U0001F600").unwrap(), "😀");
+        assert!(unescape_literal("\\u00").is_none());
+        assert!(unescape_literal("\\q").is_none());
+    }
+
+    #[test]
+    fn literal_numeric_accessors() {
+        assert_eq!(Literal::integer(-7).as_i64(), Some(-7));
+        assert_eq!(Literal::double(1.5).as_f64(), Some(1.5));
+        assert_eq!(Literal::plain("x").as_i64(), None);
+    }
+
+    #[test]
+    fn term_subject_conversions() {
+        let t = Term::iri("http://x/a");
+        assert_eq!(t.as_subject(), Some(Subject::iri("http://x/a")));
+        assert!(Term::plain("lit").as_subject().is_none());
+    }
+
+    #[test]
+    fn double_formatting_preserves_value() {
+        // `{:?}` on f64 prints enough digits to round-trip.
+        let l = Literal::double(0.1 + 0.2);
+        assert_eq!(l.as_f64().unwrap(), 0.1 + 0.2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Triples and triple patterns.
+
+use crate::term::{Iri, Subject, Term};
+use std::fmt;
+
+/// An RDF triple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    pub subject: Subject,
+    pub predicate: Iri,
+    pub object: Term,
+}
+
+impl Triple {
+    pub fn new(
+        subject: impl Into<Subject>,
+        predicate: impl Into<Iri>,
+        object: impl Into<Term>,
+    ) -> Self {
+        Triple {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+        }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A triple pattern: `None` positions are wildcards.
+#[derive(Debug, Clone, Default)]
+pub struct TriplePattern {
+    pub subject: Option<Subject>,
+    pub predicate: Option<Iri>,
+    pub object: Option<Term>,
+}
+
+impl TriplePattern {
+    /// The all-wildcard pattern.
+    pub fn any() -> Self {
+        TriplePattern::default()
+    }
+
+    pub fn with_subject(mut self, s: impl Into<Subject>) -> Self {
+        self.subject = Some(s.into());
+        self
+    }
+
+    pub fn with_predicate(mut self, p: impl Into<Iri>) -> Self {
+        self.predicate = Some(p.into());
+        self
+    }
+
+    pub fn with_object(mut self, o: impl Into<Term>) -> Self {
+        self.object = Some(o.into());
+        self
+    }
+
+    /// Does `t` match this pattern?
+    pub fn matches(&self, t: &Triple) -> bool {
+        self.subject.as_ref().map_or(true, |s| *s == t.subject)
+            && self.predicate.as_ref().map_or(true, |p| *p == t.predicate)
+            && self.object.as_ref().map_or(true, |o| *o == t.object)
+    }
+
+    /// Number of bound positions (used by the query planner to order joins).
+    pub fn bound_count(&self) -> usize {
+        self.subject.is_some() as usize
+            + self.predicate.is_some() as usize
+            + self.object.is_some() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+
+    fn t() -> Triple {
+        Triple::new(
+            Subject::iri("urn:s"),
+            Iri::new("urn:p"),
+            Term::Literal(Literal::plain("o")),
+        )
+    }
+
+    #[test]
+    fn display_is_ntriples_shaped() {
+        assert_eq!(t().to_string(), "<urn:s> <urn:p> \"o\" .");
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        assert!(TriplePattern::any().matches(&t()));
+    }
+
+    #[test]
+    fn bound_positions_filter() {
+        let p = TriplePattern::any().with_subject(Subject::iri("urn:s"));
+        assert!(p.matches(&t()));
+        let p = TriplePattern::any().with_subject(Subject::iri("urn:other"));
+        assert!(!p.matches(&t()));
+        let p = TriplePattern::any()
+            .with_predicate(Iri::new("urn:p"))
+            .with_object(Term::plain("o"));
+        assert!(p.matches(&t()));
+        assert_eq!(p.bound_count(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the RDF substrate: serializer/parser round
+//! trips, graph index coherence, and merge algebra.
+
+use proptest::prelude::*;
+use provio_rdf::{
+    ntriples, turtle, BlankNode, Graph, Iri, Literal, Namespaces, Subject, Term, Triple,
+    TriplePattern,
+};
+
+fn arb_iri() -> impl Strategy<Value = Iri> {
+    // IRIs with characters that stress the serializers but stay legal.
+    "[a-z][a-z0-9_./-]{0,20}".prop_map(|s| Iri::new(format!("urn:t:{s}")))
+}
+
+fn arb_blank() -> impl Strategy<Value = BlankNode> {
+    "[A-Za-z][A-Za-z0-9_-]{0,8}".prop_map(BlankNode::new)
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        // Plain strings including escapes and unicode.
+        "[ -~\\n\\t\u{e9}\u{4e9c}]{0,24}".prop_map(Literal::plain),
+        any::<i64>().prop_map(Literal::integer),
+        any::<bool>().prop_map(Literal::boolean),
+        (-1e9f64..1e9f64).prop_map(Literal::double),
+        ("[a-z ]{0,10}", "[a-z]{2,3}")
+            .prop_map(|(s, l)| Literal::lang_tagged(s, l)),
+    ]
+}
+
+fn arb_subject() -> impl Strategy<Value = Subject> {
+    prop_oneof![
+        4 => arb_iri().prop_map(Subject::Iri),
+        1 => arb_blank().prop_map(Subject::Blank),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        3 => arb_iri().prop_map(Term::Iri),
+        1 => arb_blank().prop_map(Term::Blank),
+        3 => arb_literal().prop_map(Term::Literal),
+    ]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (arb_subject(), arb_iri(), arb_term()).prop_map(|(s, p, o)| Triple {
+        subject: s,
+        predicate: p,
+        object: o,
+    })
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec(arb_triple(), 0..60).prop_map(|ts| ts.into_iter().collect())
+}
+
+fn graphs_equal(a: &Graph, b: &Graph) -> bool {
+    a.len() == b.len() && a.iter().all(|t| b.contains(&t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn turtle_round_trip(g in arb_graph()) {
+        let ttl = turtle::serialize(&g, &Namespaces::standard());
+        let (g2, _) = turtle::parse(&ttl).unwrap();
+        prop_assert!(graphs_equal(&g, &g2), "turtle round-trip changed graph:\n{ttl}");
+    }
+
+    #[test]
+    fn ntriples_round_trip(g in arb_graph()) {
+        let nt = ntriples::serialize(&g);
+        let g2 = ntriples::parse(&nt).unwrap();
+        prop_assert!(graphs_equal(&g, &g2), "ntriples round-trip changed graph:\n{nt}");
+    }
+
+    #[test]
+    fn formats_agree(g in arb_graph()) {
+        // Turtle and N-Triples describe the same graph.
+        let via_ttl = turtle::parse(&turtle::serialize(&g, &Namespaces::standard())).unwrap().0;
+        let via_nt = ntriples::parse(&ntriples::serialize(&g)).unwrap();
+        prop_assert!(graphs_equal(&via_ttl, &via_nt));
+    }
+
+    #[test]
+    fn index_coherence(ts in proptest::collection::vec(arb_triple(), 0..40)) {
+        // Every triple matched through any single-position index is in the
+        // graph, and every inserted triple is reachable through all three.
+        let g: Graph = ts.iter().cloned().collect();
+        for t in &ts {
+            let by_s = g.match_pattern(&TriplePattern::any().with_subject(t.subject.clone()));
+            prop_assert!(by_s.contains(t));
+            let by_p = g.match_pattern(&TriplePattern::any().with_predicate(t.predicate.clone()));
+            prop_assert!(by_p.contains(t));
+            let by_o = g.match_pattern(&TriplePattern::any().with_object(t.object.clone()));
+            prop_assert!(by_o.contains(t));
+        }
+        let all = g.match_pattern(&TriplePattern::any());
+        prop_assert_eq!(all.len(), g.len());
+    }
+
+    #[test]
+    fn remove_then_absent(ts in proptest::collection::vec(arb_triple(), 1..30), idx in any::<prop::sample::Index>()) {
+        let mut g: Graph = ts.iter().cloned().collect();
+        let victim = ts[idx.index(ts.len())].clone();
+        let before = g.len();
+        prop_assert!(g.remove(&victim));
+        prop_assert!(!g.contains(&victim));
+        prop_assert_eq!(g.len(), before - 1);
+        // Indexes agree with the set after removal.
+        let all = g.match_pattern(&TriplePattern::any());
+        prop_assert_eq!(all.len(), g.len());
+        prop_assert!(!all.contains(&victim));
+    }
+
+    #[test]
+    fn merge_idempotent_and_commutative(a in arb_graph(), b in arb_graph()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab2 = ab.clone();
+        ab2.merge(&b);
+        prop_assert!(graphs_equal(&ab, &ab2), "merge not idempotent");
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert!(graphs_equal(&ab, &ba), "merge not commutative");
+    }
+
+    #[test]
+    fn merge_models_subgraph_union(parts in proptest::collection::vec(arb_graph(), 1..5)) {
+        // Paper §5: per-process sub-graphs merge into a complete graph with
+        // no duplication. Union semantics: a triple is in the merge iff it
+        // is in some part.
+        let mut merged = Graph::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        for p in &parts {
+            for t in p.iter() {
+                prop_assert!(merged.contains(&t));
+            }
+        }
+        for t in merged.iter() {
+            prop_assert!(parts.iter().any(|p| p.contains(&t)));
+        }
+    }
+}

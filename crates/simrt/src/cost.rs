@@ -1,0 +1,79 @@
+//! Latency/bandwidth cost primitives.
+//!
+//! Storage substrates translate operations into virtual durations with a
+//! classic `latency + bytes/bandwidth` model. The Lustre-specific striping
+//! logic (stripe count/size, OST parallelism) lives in `provio-hpcfs`; this
+//! module only provides the per-channel primitive so the constants are kept
+//! in one place and are serializable for experiment records.
+
+use crate::clock::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A single storage channel: fixed per-operation latency plus streaming
+/// bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBandwidth {
+    /// Fixed cost per operation, nanoseconds.
+    pub latency_ns: u64,
+    /// Streaming throughput, bytes per second.
+    pub bytes_per_sec: u64,
+}
+
+impl LatencyBandwidth {
+    pub const fn new(latency_ns: u64, bytes_per_sec: u64) -> Self {
+        LatencyBandwidth {
+            latency_ns,
+            bytes_per_sec,
+        }
+    }
+
+    /// Cost of moving `bytes` through this channel in one operation.
+    pub fn cost(&self, bytes: u64) -> SimDuration {
+        let transfer_ns = if self.bytes_per_sec == 0 {
+            0
+        } else {
+            // bytes * 1e9 / bps, computed in u128 to avoid overflow for
+            // multi-terabyte transfers.
+            ((bytes as u128 * 1_000_000_000u128) / self.bytes_per_sec as u128) as u64
+        };
+        SimDuration::from_nanos(self.latency_ns.saturating_add(transfer_ns))
+    }
+
+    /// Cost of a metadata-only operation (no payload).
+    pub fn meta_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(self.latency_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_only_for_zero_bytes() {
+        let ch = LatencyBandwidth::new(50_000, 1_000_000_000);
+        assert_eq!(ch.cost(0).as_nanos(), 50_000);
+        assert_eq!(ch.meta_cost().as_nanos(), 50_000);
+    }
+
+    #[test]
+    fn bandwidth_term_scales_linearly() {
+        let ch = LatencyBandwidth::new(0, 1_000_000_000); // 1 GB/s
+        assert_eq!(ch.cost(1_000_000_000).as_nanos(), 1_000_000_000);
+        assert_eq!(ch.cost(500_000_000).as_nanos(), 500_000_000);
+    }
+
+    #[test]
+    fn huge_transfers_do_not_overflow() {
+        let ch = LatencyBandwidth::new(10, 16_000_000_000); // 16 GB/s
+        // 3.9 TB, the largest transfer in the paper's evaluation.
+        let d = ch.cost(3_900_000_000_000);
+        assert_eq!(d.as_nanos(), 10 + 243_750_000_000);
+    }
+
+    #[test]
+    fn zero_bandwidth_means_latency_only() {
+        let ch = LatencyBandwidth::new(123, 0);
+        assert_eq!(ch.cost(1 << 30).as_nanos(), 123);
+    }
+}

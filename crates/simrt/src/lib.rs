@@ -1,0 +1,25 @@
+//! Simulation runtime primitives shared by the PROV-IO reproduction.
+//!
+//! The paper evaluates PROV-IO on a Haswell supercomputer with a Lustre
+//! backend; this workspace replaces that testbed with simulated substrates.
+//! Everything those substrates need to agree on time and randomness lives
+//! here:
+//!
+//! * [`SimTime`] / [`SimDuration`] — virtual nanoseconds.
+//! * [`VirtualClock`] — a shareable per-agent clock that workflow I/O and
+//!   compute charge *modeled* time to, and that provenance tracking charges
+//!   its *real measured* time to (see `DESIGN.md` §3, "Timing model").
+//! * [`LatencyBandwidth`] — the latency + bandwidth cost primitive used by
+//!   the Lustre model in `provio-hpcfs`.
+//! * [`DetRng`] — deterministic, splittable random streams so every
+//!   experiment is reproducible run-to-run.
+
+pub mod clock;
+pub mod cost;
+pub mod rng;
+pub mod timer;
+
+pub use clock::{SimDuration, SimTime, VirtualClock};
+pub use cost::LatencyBandwidth;
+pub use rng::DetRng;
+pub use timer::ChargeGuard;

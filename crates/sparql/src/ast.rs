@@ -1,0 +1,138 @@
+//! Query AST.
+
+use provio_rdf::Term;
+
+/// An aggregate in the projection: `(COUNT(?v) AS ?alias)` /
+/// `(COUNT(*) AS ?alias)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// Variable counted; `None` = `*` (count rows).
+    pub var: Option<String>,
+    /// Count only distinct values.
+    pub distinct: bool,
+    /// The output variable name.
+    pub alias: String,
+}
+
+/// A parsed SELECT query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Projected variable names (without `?`); empty means `SELECT *`.
+    pub projection: Vec<String>,
+    /// COUNT aggregate, if present (grouped by `group_by`).
+    pub aggregate: Option<Aggregate>,
+    /// `GROUP BY` variables.
+    pub group_by: Vec<String>,
+    pub distinct: bool,
+    /// Graph patterns (triple patterns and filters) in syntactic order.
+    pub patterns: Vec<Pattern>,
+    /// `ORDER BY` keys: (variable, descending).
+    pub order_by: Vec<(String, bool)>,
+    pub limit: Option<usize>,
+    pub offset: usize,
+    /// Number of triple-pattern statements in the query text, the metric
+    /// reported in the paper's Table 5 ("# of Statements in Query").
+    pub statement_count: usize,
+}
+
+/// One element of the WHERE clause.
+#[derive(Debug, Clone)]
+pub enum Pattern {
+    /// A triple pattern whose predicate may be a property path.
+    Triple {
+        subject: TermOrVar,
+        path: PathExpr,
+        object: TermOrVar,
+    },
+    /// A FILTER constraint.
+    Filter(Expr),
+}
+
+/// A term position: a concrete RDF term or a variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TermOrVar {
+    Term(Term),
+    Var(String),
+}
+
+impl TermOrVar {
+    pub fn var(&self) -> Option<&str> {
+        match self {
+            TermOrVar::Var(v) => Some(v),
+            TermOrVar::Term(_) => None,
+        }
+    }
+}
+
+/// A SPARQL 1.1 property path (the subset PROV-IO queries use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathExpr {
+    /// A single predicate IRI.
+    Iri(provio_rdf::Iri),
+    /// `^p` — inverse.
+    Inverse(Box<PathExpr>),
+    /// `p1/p2` — sequence.
+    Sequence(Box<PathExpr>, Box<PathExpr>),
+    /// `p1|p2` — alternative.
+    Alternative(Box<PathExpr>, Box<PathExpr>),
+    /// `p+` — one or more.
+    OneOrMore(Box<PathExpr>),
+    /// `p*` — zero or more.
+    ZeroOrMore(Box<PathExpr>),
+}
+
+impl PathExpr {
+    /// True when the path is a plain predicate (evaluable via one index
+    /// lookup rather than the path machinery).
+    pub fn as_plain(&self) -> Option<&provio_rdf::Iri> {
+        match self {
+            PathExpr::Iri(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// FILTER expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Var(String),
+    Const(Term),
+    Compare(CompareOp, Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    /// REGEX(str, pattern) — substring semantics with optional ^/$ anchors.
+    Regex(Box<Expr>, String),
+    StrStarts(Box<Expr>, Box<Expr>),
+    StrEnds(Box<Expr>, Box<Expr>),
+    Contains(Box<Expr>, Box<Expr>),
+    Bound(String),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_path_detection() {
+        let p = PathExpr::Iri(provio_rdf::Iri::new("urn:p"));
+        assert!(p.as_plain().is_some());
+        assert!(PathExpr::OneOrMore(Box::new(p)).as_plain().is_none());
+    }
+
+    #[test]
+    fn term_or_var_accessor() {
+        assert_eq!(TermOrVar::Var("x".into()).var(), Some("x"));
+        assert_eq!(TermOrVar::Term(Term::iri("urn:a")).var(), None);
+    }
+}

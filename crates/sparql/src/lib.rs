@@ -1,0 +1,64 @@
+//! `provio-sparql` — a SPARQL SELECT engine over [`provio_rdf::Graph`].
+//!
+//! PROV-IO's user engine answers all provenance needs in the paper with a
+//! handful of SELECT statements (paper §6.5, Table 5). This crate implements
+//! the subset those queries — and transitive lineage — require:
+//!
+//! * `PREFIX` declarations, `SELECT [DISTINCT] (?v… | *) WHERE { … }`
+//! * Basic graph patterns with `;`/`,` continuations and `a`
+//! * Property paths in the predicate position: `iri`, `^p` (inverse),
+//!   `p1/p2` (sequence), `p1|p2` (alternative), `p+`, `p*`, `(p)`
+//! * `FILTER` with comparisons, `&&`, `||`, `!`, `REGEX` (substring with
+//!   optional `^`/`$` anchors), `STRSTARTS`, `STRENDS`, `CONTAINS`, `BOUND`
+//! * `(COUNT(?v|*) AS ?alias)` with optional `GROUP BY` (the "total number
+//!   of each type of HDF5 I/O operation" question of §3.3)
+//! * `ORDER BY`, `LIMIT`, `OFFSET`
+//!
+//! Unsupported (not needed by the paper's workloads and rejected at parse
+//! time): `OPTIONAL`, `UNION`, subqueries, and update forms.
+//!
+//! ```
+//! use provio_rdf::{turtle, Namespaces};
+//! use provio_sparql::Query;
+//!
+//! let (graph, _) = turtle::parse(r#"
+//!     @prefix prov: <http://www.w3.org/ns/prov#> .
+//!     <urn:decimate.h5> prov:wasAttributedTo <urn:decimate> .
+//! "#).unwrap();
+//! let q = Query::parse(r#"
+//!     PREFIX prov: <http://www.w3.org/ns/prov#>
+//!     SELECT ?program WHERE { <urn:decimate.h5> prov:wasAttributedTo ?program . }
+//! "#).unwrap();
+//! let sols = q.execute(&graph);
+//! assert_eq!(sols.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod parse;
+pub mod path;
+
+pub use ast::{Aggregate, Expr, PathExpr, Pattern, Query, TermOrVar};
+pub use eval::{Binding, Solutions};
+
+/// Errors from parsing or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryError {
+    pub message: String,
+}
+
+impl QueryError {
+    pub fn new(message: impl Into<String>) -> Self {
+        QueryError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query error: {}", self.message)
+    }
+}
+
+impl std::error::Error for QueryError {}

@@ -1,0 +1,291 @@
+//! Property-path evaluation.
+//!
+//! Backward lineage in PROV-IO is a transitive walk over relations such as
+//! `prov:wasDerivedFrom` / `prov:wasAttributedTo` (paper §6.5: "the same
+//! procedure can be repeated as needed"). Property paths make that walk a
+//! single query. Evaluation is relational: a path denotes a set of
+//! `(subject, object)` term pairs, computed bottom-up with BFS for the
+//! closure operators.
+
+use crate::ast::PathExpr;
+use provio_rdf::{Graph, Term, TriplePattern};
+use std::collections::{HashSet, VecDeque};
+
+/// All `(s, o)` pairs connected by `path` in `graph`.
+///
+/// `ZeroOrMore` contributes the identity pair for every node that occurs in
+/// the graph (SPARQL's semantics restrict to terms in the graph).
+pub fn eval_path(graph: &Graph, path: &PathExpr) -> Vec<(Term, Term)> {
+    match path {
+        PathExpr::Iri(p) => graph
+            .match_pattern(&TriplePattern::any().with_predicate(p.clone()))
+            .into_iter()
+            .map(|t| (Term::from(t.subject), t.object))
+            .collect(),
+        PathExpr::Inverse(inner) => eval_path(graph, inner)
+            .into_iter()
+            .map(|(s, o)| (o, s))
+            .collect(),
+        PathExpr::Sequence(a, b) => {
+            let left = eval_path(graph, a);
+            let right = eval_path(graph, b);
+            // Hash-join on the middle term.
+            let mut by_mid: std::collections::HashMap<&Term, Vec<&Term>> =
+                std::collections::HashMap::new();
+            for (m, o) in &right {
+                by_mid.entry(m).or_default().push(o);
+            }
+            let mut out = HashSet::new();
+            for (s, m) in &left {
+                if let Some(objects) = by_mid.get(m) {
+                    for o in objects {
+                        out.insert((s.clone(), (*o).clone()));
+                    }
+                }
+            }
+            out.into_iter().collect()
+        }
+        PathExpr::Alternative(a, b) => {
+            let mut out: HashSet<(Term, Term)> = eval_path(graph, a).into_iter().collect();
+            out.extend(eval_path(graph, b));
+            out.into_iter().collect()
+        }
+        PathExpr::OneOrMore(inner) => closure(graph, inner, false),
+        PathExpr::ZeroOrMore(inner) => closure(graph, inner, true),
+    }
+}
+
+/// Pairs reachable from a fixed start term through `path` (forward
+/// evaluation used when the subject is already bound — avoids materializing
+/// the whole relation for closures).
+pub fn eval_path_from(graph: &Graph, path: &PathExpr, start: &Term) -> Vec<Term> {
+    match path {
+        PathExpr::OneOrMore(inner) | PathExpr::ZeroOrMore(inner) => {
+            let include_start = matches!(path, PathExpr::ZeroOrMore(_));
+            let mut seen: HashSet<Term> = HashSet::new();
+            let mut queue = VecDeque::new();
+            queue.push_back(start.clone());
+            let mut out = Vec::new();
+            if include_start {
+                seen.insert(start.clone());
+                out.push(start.clone());
+            }
+            while let Some(cur) = queue.pop_front() {
+                for next in eval_path_from(graph, inner, &cur) {
+                    if seen.insert(next.clone()) {
+                        out.push(next.clone());
+                        queue.push_back(next);
+                    }
+                }
+            }
+            // For OneOrMore the start itself is reachable only via a cycle;
+            // `seen` never contained it unless inserted by a step.
+            out
+        }
+        PathExpr::Sequence(a, b) => {
+            let mut out = HashSet::new();
+            for mid in eval_path_from(graph, a, start) {
+                out.extend(eval_path_from(graph, b, &mid));
+            }
+            out.into_iter().collect()
+        }
+        PathExpr::Alternative(a, b) => {
+            let mut out: HashSet<Term> = eval_path_from(graph, a, start).into_iter().collect();
+            out.extend(eval_path_from(graph, b, start));
+            out.into_iter().collect()
+        }
+        PathExpr::Inverse(inner) => match inner.as_ref() {
+            PathExpr::Iri(p) => graph
+                .subjects_with(p, start)
+                .into_iter()
+                .map(Term::from)
+                .collect(),
+            other => {
+                // General case: fall back to the full relation.
+                eval_path(graph, other)
+                    .into_iter()
+                    .filter(|(_, o)| o == start)
+                    .map(|(s, _)| s)
+                    .collect()
+            }
+        },
+        PathExpr::Iri(p) => {
+            let Some(subject) = start.as_subject() else {
+                return Vec::new(); // literals have no outgoing edges
+            };
+            graph.objects(&subject, p)
+        }
+    }
+}
+
+fn closure(graph: &Graph, inner: &PathExpr, reflexive: bool) -> Vec<(Term, Term)> {
+    let base = eval_path(graph, inner);
+    // Adjacency over the base relation.
+    let mut adj: std::collections::HashMap<&Term, Vec<&Term>> =
+        std::collections::HashMap::new();
+    for (s, o) in &base {
+        adj.entry(s).or_default().push(o);
+    }
+
+    let mut out: HashSet<(Term, Term)> = HashSet::new();
+    if reflexive {
+        // Identity on all graph nodes (subjects and objects of any triple).
+        let mut nodes: HashSet<Term> = HashSet::new();
+        for t in graph.iter() {
+            nodes.insert(Term::from(t.subject));
+            nodes.insert(t.object);
+        }
+        for n in nodes {
+            out.insert((n.clone(), n));
+        }
+    }
+
+    // BFS from every source in the base relation.
+    for src in adj.keys() {
+        let mut seen: HashSet<&Term> = HashSet::new();
+        let mut queue: VecDeque<&Term> = VecDeque::new();
+        queue.push_back(src);
+        while let Some(cur) = queue.pop_front() {
+            if let Some(nexts) = adj.get(cur) {
+                for &n in nexts {
+                    if seen.insert(n) {
+                        out.insert(((*src).clone(), n.clone()));
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provio_rdf::{Iri, Subject, Triple};
+
+    fn chain_graph() -> Graph {
+        // a -d-> b -d-> c -d-> d ; x -d-> b (diamond-ish)
+        let mut g = Graph::new();
+        for (s, o) in [("a", "b"), ("b", "c"), ("c", "d"), ("x", "b")] {
+            g.insert(&Triple::new(
+                Subject::iri(format!("urn:{s}")),
+                Iri::new("urn:d"),
+                Term::iri(format!("urn:{o}")),
+            ));
+        }
+        g
+    }
+
+    fn pairs_sorted(mut v: Vec<(Term, Term)>) -> Vec<(String, String)> {
+        v.sort();
+        v.iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn plain_iri_path() {
+        let g = chain_graph();
+        let p = PathExpr::Iri(Iri::new("urn:d"));
+        assert_eq!(eval_path(&g, &p).len(), 4);
+    }
+
+    #[test]
+    fn inverse_swaps() {
+        let g = chain_graph();
+        let p = PathExpr::Inverse(Box::new(PathExpr::Iri(Iri::new("urn:d"))));
+        let pairs = pairs_sorted(eval_path(&g, &p));
+        assert!(pairs.contains(&("<urn:b>".into(), "<urn:a>".into())));
+    }
+
+    #[test]
+    fn sequence_composes() {
+        let g = chain_graph();
+        let p = PathExpr::Sequence(
+            Box::new(PathExpr::Iri(Iri::new("urn:d"))),
+            Box::new(PathExpr::Iri(Iri::new("urn:d"))),
+        );
+        let pairs = pairs_sorted(eval_path(&g, &p));
+        assert!(pairs.contains(&("<urn:a>".into(), "<urn:c>".into())));
+        assert!(pairs.contains(&("<urn:b>".into(), "<urn:d>".into())));
+        assert!(pairs.contains(&("<urn:x>".into(), "<urn:c>".into())));
+        assert_eq!(pairs.len(), 3);
+    }
+
+    #[test]
+    fn one_or_more_is_transitive_closure() {
+        let g = chain_graph();
+        let p = PathExpr::OneOrMore(Box::new(PathExpr::Iri(Iri::new("urn:d"))));
+        let pairs = pairs_sorted(eval_path(&g, &p));
+        // a reaches b,c,d ; b reaches c,d ; c reaches d ; x reaches b,c,d
+        assert_eq!(pairs.len(), 3 + 2 + 1 + 3);
+        assert!(pairs.contains(&("<urn:a>".into(), "<urn:d>".into())));
+    }
+
+    #[test]
+    fn zero_or_more_includes_identity() {
+        let g = chain_graph();
+        let p = PathExpr::ZeroOrMore(Box::new(PathExpr::Iri(Iri::new("urn:d"))));
+        let pairs = pairs_sorted(eval_path(&g, &p));
+        assert!(pairs.contains(&("<urn:a>".into(), "<urn:a>".into())));
+        assert!(pairs.contains(&("<urn:d>".into(), "<urn:d>".into())));
+        assert!(pairs.contains(&("<urn:a>".into(), "<urn:d>".into())));
+    }
+
+    #[test]
+    fn alternative_unions() {
+        let mut g = chain_graph();
+        g.insert(&Triple::new(
+            Subject::iri("urn:a"),
+            Iri::new("urn:e"),
+            Term::iri("urn:z"),
+        ));
+        let p = PathExpr::Alternative(
+            Box::new(PathExpr::Iri(Iri::new("urn:d"))),
+            Box::new(PathExpr::Iri(Iri::new("urn:e"))),
+        );
+        assert_eq!(eval_path(&g, &p).len(), 5);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut g = Graph::new();
+        for (s, o) in [("a", "b"), ("b", "a")] {
+            g.insert(&Triple::new(
+                Subject::iri(format!("urn:{s}")),
+                Iri::new("urn:d"),
+                Term::iri(format!("urn:{o}")),
+            ));
+        }
+        let p = PathExpr::OneOrMore(Box::new(PathExpr::Iri(Iri::new("urn:d"))));
+        let pairs = pairs_sorted(eval_path(&g, &p));
+        // a→b, a→a (via cycle), b→a, b→b
+        assert_eq!(pairs.len(), 4);
+    }
+
+    #[test]
+    fn eval_from_matches_full_relation() {
+        let g = chain_graph();
+        let p = PathExpr::OneOrMore(Box::new(PathExpr::Iri(Iri::new("urn:d"))));
+        let full = eval_path(&g, &p);
+        let start = Term::iri("urn:a");
+        let mut from: Vec<Term> = eval_path_from(&g, &p, &start);
+        from.sort();
+        let mut expect: Vec<Term> = full
+            .into_iter()
+            .filter(|(s, _)| *s == start)
+            .map(|(_, o)| o)
+            .collect();
+        expect.sort();
+        assert_eq!(from, expect);
+    }
+
+    #[test]
+    fn eval_from_literal_start_is_empty_for_iri_path() {
+        let g = chain_graph();
+        let p = PathExpr::Iri(Iri::new("urn:d"));
+        let lit = Term::Literal(provio_rdf::Literal::plain("x"));
+        assert!(eval_path_from(&g, &p, &lit).is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests: property-path closure vs. naive reachability, and
+//! consistency between full-relation and from-source path evaluation.
+
+use proptest::prelude::*;
+use provio_rdf::{Graph, Iri, Subject, Term, Triple};
+use provio_sparql::path::{eval_path, eval_path_from};
+use provio_sparql::PathExpr;
+use std::collections::HashSet;
+
+/// Random small digraph over nodes 0..n via predicate urn:d.
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u8, u8)>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u8, 0..n as u8),
+            0..(n * 2),
+        );
+        (Just(n), edges)
+    })
+}
+
+fn build(edges: &[(u8, u8)]) -> Graph {
+    let mut g = Graph::new();
+    for &(a, b) in edges {
+        g.insert(&Triple::new(
+            Subject::iri(format!("urn:n{a}")),
+            Iri::new("urn:d"),
+            Term::iri(format!("urn:n{b}")),
+        ));
+    }
+    g
+}
+
+/// Naive transitive closure by iterated matrix "squaring".
+fn naive_closure(edges: &[(u8, u8)]) -> HashSet<(u8, u8)> {
+    let mut closure: HashSet<(u8, u8)> = edges.iter().copied().collect();
+    loop {
+        let mut grew = false;
+        let snapshot: Vec<(u8, u8)> = closure.iter().copied().collect();
+        for &(a, b) in &snapshot {
+            for &(c, d) in &snapshot {
+                if b == c && closure.insert((a, d)) {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            return closure;
+        }
+    }
+}
+
+fn term_to_node(t: &Term) -> u8 {
+    let s = t.as_iri().unwrap().as_str();
+    s.strip_prefix("urn:n").unwrap().parse().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn one_or_more_equals_naive_closure((_, edges) in arb_edges()) {
+        let g = build(&edges);
+        let p = PathExpr::OneOrMore(Box::new(PathExpr::Iri(Iri::new("urn:d"))));
+        let got: HashSet<(u8, u8)> = eval_path(&g, &p)
+            .iter()
+            .map(|(a, b)| (term_to_node(a), term_to_node(b)))
+            .collect();
+        let want = naive_closure(&edges);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn from_source_agrees_with_full_relation((n, edges) in arb_edges()) {
+        let g = build(&edges);
+        let p = PathExpr::OneOrMore(Box::new(PathExpr::Iri(Iri::new("urn:d"))));
+        let full = eval_path(&g, &p);
+        for node in 0..n as u8 {
+            let start = Term::iri(format!("urn:n{node}"));
+            let mut from: Vec<String> = eval_path_from(&g, &p, &start)
+                .iter().map(|t| t.to_string()).collect();
+            from.sort();
+            let mut expect: Vec<String> = full.iter()
+                .filter(|(s, _)| *s == start)
+                .map(|(_, o)| o.to_string())
+                .collect();
+            expect.sort();
+            prop_assert_eq!(from, expect, "node {}", node);
+        }
+    }
+
+    #[test]
+    fn zero_or_more_is_one_or_more_plus_identity((_, edges) in arb_edges()) {
+        let g = build(&edges);
+        let plus = PathExpr::OneOrMore(Box::new(PathExpr::Iri(Iri::new("urn:d"))));
+        let star = PathExpr::ZeroOrMore(Box::new(PathExpr::Iri(Iri::new("urn:d"))));
+        let plus_set: HashSet<(Term, Term)> = eval_path(&g, &plus).into_iter().collect();
+        let star_set: HashSet<(Term, Term)> = eval_path(&g, &star).into_iter().collect();
+        // star ⊇ plus and star \ plus is exactly the identity pairs.
+        for pair in &plus_set {
+            prop_assert!(star_set.contains(pair));
+        }
+        for pair in star_set.difference(&plus_set) {
+            prop_assert_eq!(&pair.0, &pair.1);
+        }
+    }
+
+    #[test]
+    fn inverse_is_involution((_, edges) in arb_edges()) {
+        let g = build(&edges);
+        let p = PathExpr::Iri(Iri::new("urn:d"));
+        let inv_inv = PathExpr::Inverse(Box::new(PathExpr::Inverse(Box::new(p.clone()))));
+        let a: HashSet<(Term, Term)> = eval_path(&g, &p).into_iter().collect();
+        let b: HashSet<(Term, Term)> = eval_path(&g, &inv_inv).into_iter().collect();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,144 @@
+//! Failure injection: the provenance system must degrade gracefully, never
+//! corrupt workflow results, and never lose more than the affected
+//! process's sub-graph.
+
+use prov_io::prelude::*;
+use provio_simrt::SimTime;
+use std::sync::Arc;
+
+fn tracked_process(cluster: &Cluster, pid: u32) -> (Arc<FsSession>, H5) {
+    let cfg = ProvIoConfig::default().shared();
+    cluster.process(pid, "alice", "prog", VirtualClock::new(), Some(&cfg))
+}
+
+#[test]
+fn corrupt_subgraph_does_not_block_merge() {
+    let cluster = Cluster::new();
+    let (_s, h5) = tracked_process(&cluster, 1);
+    let f = h5.create_file("/good.h5").unwrap();
+    h5.close_file(f).unwrap();
+    cluster.registry.finish_all();
+
+    // A process that died mid-serialization left garbage behind.
+    let ino = cluster
+        .fs
+        .create_file("/provio/prov_p666.ttl", false, "provio", SimTime::ZERO)
+        .unwrap();
+    cluster
+        .fs
+        .write_at(ino, 0, b"@prefix broken <unterminated", SimTime::ZERO)
+        .unwrap();
+    // And another left a half-written N-Triples file.
+    let ino2 = cluster
+        .fs
+        .create_file("/provio/prov_p667.nt", false, "provio", SimTime::ZERO)
+        .unwrap();
+    cluster
+        .fs
+        .write_at(ino2, 0, b"<urn:a> <urn:b> \"unclosed", SimTime::ZERO)
+        .unwrap();
+
+    let (graph, report) = merge_directory(&cluster.fs, "/provio");
+    assert_eq!(report.corrupt.len(), 2);
+    assert_eq!(report.files, 1);
+    assert!(!graph.is_empty(), "healthy sub-graphs survive");
+    let engine = ProvQueryEngine::new(graph);
+    assert!(engine.entity_by_label("/good.h5").is_some());
+}
+
+#[test]
+fn tracker_dropped_without_finish_still_persists() {
+    // A process that never calls finish (crash before MPI_Finalize): the
+    // store's Drop path flushes what it had.
+    let cluster = Cluster::new();
+    let (_s, h5) = tracked_process(&cluster, 2);
+    let f = h5.create_file("/orphan.h5").unwrap();
+    h5.close_file(f).unwrap();
+    // Drop the tracker without finishing.
+    let t = cluster.registry.unregister(2).unwrap();
+    drop(t);
+    let (bytes, files) = cluster.prov_usage("/provio");
+    assert_eq!(files, 1);
+    assert!(bytes > 0, "Drop flushed the sub-graph");
+    let (graph, _) = merge_directory(&cluster.fs, "/provio");
+    let engine = ProvQueryEngine::new(graph);
+    assert!(engine.entity_by_label("/orphan.h5").is_some());
+}
+
+#[test]
+fn everything_disabled_tracks_nothing_but_workflow_succeeds() {
+    let cluster = Cluster::new();
+    let cfg = ProvIoConfig::default()
+        .with_selector(ClassSelector::none())
+        .shared();
+    let (s, h5) = cluster.process(3, "alice", "prog", VirtualClock::new(), Some(&cfg));
+    let f = h5.create_file("/silent.h5").unwrap();
+    let d = h5
+        .write_dataset_full(f, "x", Datatype::Int64, &[4], &Data::synthetic(32))
+        .unwrap();
+    h5.close_dataset(d).unwrap();
+    h5.close_file(f).unwrap();
+    s.write_file("/also_silent", b"x").unwrap();
+
+    let summaries = cluster.registry.finish_all();
+    assert_eq!(summaries[0].1.events, 0);
+    // Workflow data is intact.
+    assert!(cluster.fs.exists("/silent.h5"));
+    assert!(cluster.fs.exists("/also_silent"));
+}
+
+#[test]
+fn failed_workflow_io_leaves_no_phantom_provenance() {
+    let cluster = Cluster::new();
+    let (s, h5) = tracked_process(&cluster, 4);
+    // A batch of failing operations.
+    assert!(h5.open_file("/missing.h5", false).is_err());
+    assert!(s.open("/missing.txt", OpenFlags::rdonly()).is_err());
+    assert!(s.rename("/nope", "/nowhere").is_err());
+    let summaries = cluster.registry.finish_all();
+    assert_eq!(summaries[0].1.events, 0, "failures leave no provenance");
+}
+
+#[test]
+fn store_on_full_directory_path_conflicts_are_survivable() {
+    // Another process created a FILE where the store wants its directory.
+    let cluster = Cluster::new();
+    cluster
+        .fs
+        .create_file("/provio", false, "evil", SimTime::ZERO)
+        .unwrap();
+    let cfg = ProvIoConfig::default().shared();
+    let (_s, h5) = cluster.process(5, "alice", "prog", VirtualClock::new(), Some(&cfg));
+    // Tracking proceeds; serialization fails silently at finish (the
+    // workflow must not crash).
+    let f = h5.create_file("/work.h5").unwrap();
+    h5.close_file(f).unwrap();
+    let summaries = cluster.registry.finish_all();
+    assert!(summaries[0].1.events > 0);
+    assert_eq!(summaries[0].1.store_bytes, 0, "store could not be written");
+    assert!(cluster.fs.exists("/work.h5"), "workflow output unaffected");
+}
+
+#[test]
+fn partial_subgraph_from_periodic_flush_is_usable() {
+    // With the periodic policy, intermediate flushes leave a readable
+    // sub-graph even before finish.
+    let cluster = Cluster::new();
+    let cfg = ProvIoConfig::default()
+        .with_policy(SerializationPolicy::EveryRecords(2))
+        .synchronous()
+        .shared();
+    let (_s, h5) = cluster.process(6, "alice", "prog", VirtualClock::new(), Some(&cfg));
+    for i in 0..8 {
+        let f = h5.create_file(&format!("/f{i}.h5")).unwrap();
+        h5.close_file(f).unwrap();
+    }
+    // Before finish: the store already holds flushed records.
+    let (bytes, files) = cluster.prov_usage("/provio");
+    assert_eq!(files, 1);
+    assert!(bytes > 0, "periodic policy persisted early");
+    let (graph, report) = merge_directory(&cluster.fs, "/provio");
+    assert!(report.corrupt.is_empty());
+    assert!(!graph.is_empty());
+    cluster.registry.finish_all();
+}
