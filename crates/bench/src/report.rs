@@ -1,12 +1,10 @@
 //! Experiment output: aligned text tables + JSON records.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// One cell value.
-#[derive(Debug, Clone, Serialize)]
-#[serde(untagged)]
+#[derive(Debug, Clone)]
 pub enum Cell {
     Str(String),
     Int(i64),
@@ -14,6 +12,16 @@ pub enum Cell {
 }
 
 impl Cell {
+    /// Untagged JSON value: strings quoted, numbers bare.
+    fn to_json(&self) -> String {
+        match self {
+            Cell::Str(s) => format!("\"{}\"", json_escape(s)),
+            Cell::Int(i) => i.to_string(),
+            Cell::Float(f) if f.is_finite() => f.to_string(),
+            Cell::Float(_) => "null".to_string(),
+        }
+    }
+
     fn render(&self) -> String {
         match self {
             Cell::Str(s) => s.clone(),
@@ -68,7 +76,7 @@ impl From<f64> for Cell {
 }
 
 /// A rendered experiment result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Paper artifact id ("fig6a", "tab5", …).
     pub id: String,
@@ -78,8 +86,31 @@ pub struct Report {
     pub headers: Vec<String>,
     pub rows: Vec<Vec<Cell>>,
     /// Extra artifacts (DOT sources, query texts) keyed by file stem.
-    #[serde(skip_serializing_if = "Vec::is_empty", default)]
+    /// Omitted from the JSON record when empty.
     pub attachments: Vec<(String, String)>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_str_list(items: impl Iterator<Item = String>) -> String {
+    let body: Vec<String> = items.map(|s| format!("\"{}\"", json_escape(&s))).collect();
+    format!("[{}]", body.join(", "))
 }
 
 impl Report {
@@ -145,10 +176,53 @@ impl Report {
         out
     }
 
+    /// JSON record of the full report (pretty-printed, stable field order).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"id\": \"{}\",", json_escape(&self.id));
+        let _ = writeln!(out, "  \"title\": \"{}\",", json_escape(&self.title));
+        let _ = writeln!(out, "  \"notes\": {},", json_str_list(self.notes.iter().cloned()));
+        let _ = writeln!(
+            out,
+            "  \"headers\": {},",
+            json_str_list(self.headers.iter().cloned())
+        );
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(Cell::to_json).collect();
+                format!("    [{}]", cells.join(", "))
+            })
+            .collect();
+        if rows.is_empty() {
+            let _ = write!(out, "  \"rows\": []");
+        } else {
+            let _ = write!(out, "  \"rows\": [\n{}\n  ]", rows.join(",\n"));
+        }
+        if !self.attachments.is_empty() {
+            let atts: Vec<String> = self
+                .attachments
+                .iter()
+                .map(|(name, body)| {
+                    format!(
+                        "    [\"{}\", \"{}\"]",
+                        json_escape(name),
+                        json_escape(body)
+                    )
+                })
+                .collect();
+            let _ = write!(out, ",\n  \"attachments\": [\n{}\n  ]", atts.join(",\n"));
+        }
+        out.push_str("\n}");
+        out
+    }
+
     /// Write `<dir>/<id>.json` (+ attachments as separate files).
     pub fn save(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        let json = serde_json::to_string_pretty(self).expect("serializable report");
+        let json = self.to_json_pretty();
         std::fs::write(dir.join(format!("{}.json", self.id)), json)?;
         for (name, body) in &self.attachments {
             std::fs::write(dir.join(name), body)?;

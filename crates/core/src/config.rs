@@ -26,6 +26,37 @@ impl RdfFormat {
     }
 }
 
+/// Retry/backoff policy for durable store writes (see
+/// `crate::store::ProvenanceStore`). A flush is attempted up to
+/// `max_attempts` times; between attempts the writer backs off
+/// exponentially starting from `backoff_ns`, charged to the issuing
+/// rank's virtual clock when the write is synchronous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per flush (1 = fail fast, no retry).
+    pub max_attempts: u32,
+    /// Base backoff before the first retry; doubles per retry.
+    pub backoff_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_ns: 1_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before the retry that follows failure number `failures`
+    /// (1-based): `backoff_ns * 2^(failures-1)`, saturating.
+    pub fn backoff_for(self, failures: u32) -> u64 {
+        let shift = failures.saturating_sub(1).min(20);
+        self.backoff_ns.saturating_mul(1u64 << shift)
+    }
+}
+
 /// When per-process sub-graphs are pushed to the store (paper §4.2: "the
 /// serialization operation may be triggered either periodically or by the
 /// end of the workflow").
@@ -59,6 +90,8 @@ pub struct ProvIoConfig {
     /// to measure this implementation's native overhead (the
     /// `tracking_micro` bench does both).
     pub record_latency_ns: u64,
+    /// Retry/backoff behavior of the durable store writer.
+    pub retry: RetryPolicy,
 }
 
 /// Default Redland-calibrated per-record latency (see
@@ -75,6 +108,7 @@ impl Default for ProvIoConfig {
             async_store: true,
             workflow_type: None,
             record_latency_ns: DEFAULT_RECORD_LATENCY_NS,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -116,6 +150,12 @@ impl ProvIoConfig {
         self
     }
 
+    /// Override the store writer's retry/backoff policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     pub fn shared(self) -> Arc<Self> {
         Arc::new(self)
     }
@@ -142,6 +182,16 @@ impl ProvIoConfig {
                 "store_dir" => cfg.store_dir = value.to_string(),
                 "record_latency_ns" => {
                     cfg.record_latency_ns = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad integer", lineno + 1))?
+                }
+                "retry_max_attempts" => {
+                    cfg.retry.max_attempts = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad integer", lineno + 1))?
+                }
+                "retry_backoff_ns" => {
+                    cfg.retry.backoff_ns = value
                         .parse()
                         .map_err(|_| format!("line {}: bad integer", lineno + 1))?
                 }
@@ -288,6 +338,21 @@ mod tests {
         assert!(ProvIoConfig::from_ini("policy = sometimes").is_err());
         assert!(ProvIoConfig::from_ini("track = telepathy").is_err());
         assert!(ProvIoConfig::from_ini("zzz = 1").is_err());
+    }
+
+    #[test]
+    fn retry_knobs_from_ini_and_backoff_curve() {
+        let c = ProvIoConfig::from_ini(
+            "retry_max_attempts = 5\nretry_backoff_ns = 1000\n",
+        )
+        .unwrap();
+        assert_eq!(c.retry.max_attempts, 5);
+        assert_eq!(c.retry.backoff_ns, 1000);
+        assert_eq!(c.retry.backoff_for(1), 1000);
+        assert_eq!(c.retry.backoff_for(2), 2000);
+        assert_eq!(c.retry.backoff_for(3), 4000);
+        // Saturates instead of overflowing for absurd failure counts.
+        assert!(RetryPolicy { max_attempts: 2, backoff_ns: u64::MAX }.backoff_for(40) > 0);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod tracker;
 pub mod wrapper;
 
 pub use api::ProvIoApi;
-pub use config::{ProvIoConfig, RdfFormat, SerializationPolicy};
+pub use config::{ProvIoConfig, RdfFormat, RetryPolicy, SerializationPolicy};
 pub use connector::ProvIoVol;
 pub use engine::ProvQueryEngine;
 pub use merge::merge_directory;

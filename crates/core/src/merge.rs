@@ -8,56 +8,164 @@
 
 use provio_hpcfs::FileSystem;
 use provio_rdf::{ntriples, turtle, Graph};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Result of a merge.
 #[derive(Debug)]
 pub struct MergeReport {
+    /// Files that contributed triples (fully parsed or salvaged).
     pub files: usize,
     pub triples: usize,
-    /// Files that failed to parse (e.g. a process died mid-write); the
-    /// merge proceeds without them.
+    /// Files from which nothing could be recovered; the merge proceeds
+    /// without them.
     pub corrupt: Vec<String>,
+    /// Orphan `<p>.tmp` files adopted because no committed `<p>` exists —
+    /// the writer crashed between serialization and its atomic rename.
+    pub recovered: Vec<String>,
+    /// Triples recovered from the valid prefix of torn files.
+    pub salvaged_triples: usize,
+}
+
+#[derive(Clone, Copy)]
+enum Format {
+    NTriples,
+    Turtle,
+    Unknown,
+}
+
+fn format_of(effective_path: &str) -> Format {
+    if effective_path.ends_with(".nt") {
+        Format::NTriples
+    } else if effective_path.ends_with(".ttl") {
+        Format::Turtle
+    } else {
+        Format::Unknown
+    }
+}
+
+/// Full parse of `text` into a fresh graph, or `None` on any error. The
+/// scratch graph keeps a half-parsed file from partially polluting the
+/// merged graph.
+fn parse_full(format: Format, text: &str) -> Option<Graph> {
+    let mut scratch = Graph::new();
+    let ok = match format {
+        Format::NTriples => ntriples::parse_into(text, &mut scratch).is_ok(),
+        Format::Turtle => turtle::parse_into(text, &mut scratch).is_ok(),
+        Format::Unknown => {
+            turtle::parse_into(text, &mut scratch).is_ok() || {
+                scratch = Graph::new();
+                ntriples::parse_into(text, &mut scratch).is_ok()
+            }
+        }
+    };
+    ok.then_some(scratch)
+}
+
+/// Longest valid prefix of a torn Turtle document: cut at statement
+/// boundaries (lines ending `.`), longest candidate first.
+fn salvage_turtle(text: &str) -> Graph {
+    let lines: Vec<&str> = text.lines().collect();
+    let cuts: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.trim_end().ends_with('.'))
+        .map(|(i, _)| i)
+        .collect();
+    for &cut in cuts.iter().rev() {
+        let prefix = lines[..=cut].join("\n");
+        if let Ok((g, _)) = turtle::parse(&prefix) {
+            return g;
+        }
+    }
+    Graph::new()
+}
+
+/// Salvage whatever prefix of `text` is valid.
+fn salvage(format: Format, text: &str) -> Graph {
+    match format {
+        Format::NTriples => {
+            let mut scratch = Graph::new();
+            ntriples::parse_lenient_prefix(text, &mut scratch);
+            scratch
+        }
+        Format::Turtle => salvage_turtle(text),
+        Format::Unknown => {
+            let mut scratch = Graph::new();
+            if ntriples::parse_lenient_prefix(text, &mut scratch) > 0 {
+                scratch
+            } else {
+                salvage_turtle(text)
+            }
+        }
+    }
 }
 
 /// Parse and merge every sub-graph file under `dir` (recursively) into one
 /// graph. `.ttl` files parse as Turtle, `.nt` as N-Triples; unknown
 /// extensions try both.
+///
+/// Crash recovery: a `<p>.tmp` left by the store's atomic-rename protocol
+/// is skipped when the committed `<p>` exists (it is a stale or torn
+/// in-progress flush — the committed file wins), and adopted when it does
+/// not (the writer crashed after serializing but before renaming). Files
+/// that fail a full parse get their valid prefix salvaged line-by-line
+/// (N-Triples) or at statement boundaries (Turtle); only files yielding
+/// nothing at all are reported corrupt.
 pub fn merge_directory(fs: &Arc<FileSystem>, dir: &str) -> (Graph, MergeReport) {
     let mut graph = Graph::new();
     let mut report = MergeReport {
         files: 0,
         triples: 0,
         corrupt: Vec::new(),
+        recovered: Vec::new(),
+        salvaged_triples: 0,
     };
     let files = match fs.walk_files(dir) {
         Ok(f) => f,
         Err(_) => return (graph, report),
     };
-    for path in files {
-        let Ok(ino) = fs.lookup(&path) else {
+    let committed: HashSet<&str> = files.iter().map(String::as_str).collect();
+    for path in &files {
+        let adopted_tmp = match path.strip_suffix(".tmp") {
+            Some(base) if committed.contains(base) => continue, // commit wins
+            Some(_) => true,
+            None => false,
+        };
+        let Ok(ino) = fs.lookup(path) else {
             continue;
         };
-        let Ok(md) = fs.stat(&path) else { continue };
+        let Ok(md) = fs.stat(path) else { continue };
         let Ok(bytes) = fs.read_at(ino, 0, md.size) else {
             continue;
         };
         let Ok(text) = String::from_utf8(bytes.to_vec()) else {
-            report.corrupt.push(path);
+            report.corrupt.push(path.clone());
             continue;
         };
-        let parsed = if path.ends_with(".nt") {
-            ntriples::parse_into(&text, &mut graph).is_ok()
-        } else if path.ends_with(".ttl") {
-            turtle::parse_into(&text, &mut graph).is_ok()
-        } else {
-            turtle::parse_into(&text, &mut graph).is_ok()
-                || ntriples::parse_into(&text, &mut graph).is_ok()
-        };
-        if parsed {
+        let format = format_of(path.strip_suffix(".tmp").unwrap_or(path));
+        if let Some(sub) = parse_full(format, &text) {
+            for t in sub.iter() {
+                graph.insert(&t);
+            }
             report.files += 1;
-        } else {
-            report.corrupt.push(path);
+            if adopted_tmp {
+                report.recovered.push(path.clone());
+            }
+            continue;
+        }
+        let sub = salvage(format, &text);
+        if sub.is_empty() {
+            report.corrupt.push(path.clone());
+            continue;
+        }
+        report.salvaged_triples += sub.len();
+        for t in sub.iter() {
+            graph.insert(&t);
+        }
+        report.files += 1;
+        if adopted_tmp {
+            report.recovered.push(path.clone());
         }
     }
     report.triples = graph.len();
@@ -146,6 +254,79 @@ mod tests {
         assert_eq!(report.files, 1);
         assert_eq!(report.corrupt, vec!["/provio/prov_p99.ttl"]);
         assert!(g.len() > 0);
+    }
+
+    fn write_file(fs: &Arc<FileSystem>, path: &str, body: &[u8]) {
+        if let Some((dir, _)) = path.rsplit_once('/') {
+            fs.mkdir_all(dir, "provio", SimTime::ZERO).unwrap();
+        }
+        let ino = fs.create_file(path, false, "provio", SimTime::ZERO).unwrap();
+        fs.write_at(ino, 0, body, SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_is_shadowed_by_committed_file() {
+        let fs = FileSystem::new(LustreConfig::default());
+        write_file(&fs, "/provio/prov_p0.nt", b"<urn:a> <urn:p> <urn:b> .\n");
+        // A torn in-progress flush next to a good committed file: ignored.
+        write_file(&fs, "/provio/prov_p0.nt.tmp", b"<urn:a> <urn:p> \"tor");
+        let (g, report) = merge_directory(&fs, "/provio");
+        assert_eq!(report.files, 1);
+        assert_eq!(g.len(), 1);
+        assert!(report.corrupt.is_empty());
+        assert!(report.recovered.is_empty());
+        assert_eq!(report.salvaged_triples, 0);
+    }
+
+    #[test]
+    fn orphan_tmp_is_adopted() {
+        let fs = FileSystem::new(LustreConfig::default());
+        // Writer crashed after serializing, before the rename: no committed
+        // file, a complete tmp. The merge adopts it.
+        write_file(
+            &fs,
+            "/provio/prov_p1.nt.tmp",
+            b"<urn:a> <urn:p> <urn:b> .\n<urn:c> <urn:p> <urn:d> .\n",
+        );
+        let (g, report) = merge_directory(&fs, "/provio");
+        assert_eq!(report.files, 1);
+        assert_eq!(g.len(), 2);
+        assert_eq!(report.recovered, vec!["/provio/prov_p1.nt.tmp"]);
+    }
+
+    #[test]
+    fn torn_ntriples_prefix_is_salvaged() {
+        let fs = FileSystem::new(LustreConfig::default());
+        write_file(
+            &fs,
+            "/provio/prov_p2.nt",
+            b"<urn:a> <urn:p> <urn:b> .\n<urn:c> <urn:p> <urn:d> .\n<urn:e> <urn:p> \"to",
+        );
+        let (g, report) = merge_directory(&fs, "/provio");
+        assert_eq!(report.files, 1);
+        assert!(report.corrupt.is_empty());
+        assert_eq!(report.salvaged_triples, 2);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn failed_full_parse_does_not_pollute_merged_graph() {
+        let fs = FileSystem::new(LustreConfig::default());
+        write_file(&fs, "/provio/good.nt", b"<urn:a> <urn:p> <urn:b> .\n");
+        // Unknown extension, first line valid Turtle-and-NT, second line
+        // garbage: the old code parsed line 1 straight into the merged
+        // graph before failing. Now nothing of a failed full parse leaks
+        // unless the salvage pass owns it (and then it is *reported*).
+        write_file(
+            &fs,
+            "/provio/mystery.dat",
+            b"<urn:x> <urn:p> <urn:y> .\n%%%not rdf%%%\n",
+        );
+        let (g, report) = merge_directory(&fs, "/provio");
+        assert_eq!(report.files, 2);
+        assert_eq!(report.salvaged_triples, 1, "prefix salvage is accounted");
+        assert_eq!(g.len(), 2);
+        assert!(report.corrupt.is_empty());
     }
 
     #[test]

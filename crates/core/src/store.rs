@@ -9,13 +9,26 @@
 //! thread per store would exhaust the host), and the workflow's critical
 //! path only pays for enqueueing. The synchronous mode exists as the
 //! ablation the paper's design argues against.
+//!
+//! # Crash consistency
+//!
+//! A flush never writes the committed path in place. The sub-graph is
+//! serialized to `<path>.tmp`, then atomically renamed over `<path>` —
+//! so a torn write or mid-flush crash can only ever corrupt the tmp file,
+//! and a reader (the post-run merge) either sees the previous complete
+//! sub-graph or the new complete sub-graph, never a prefix. Transient
+//! errors (`EIO`, `ENOSPC`) are retried under a [`RetryPolicy`] with
+//! exponential backoff charged to the issuing rank's virtual clock;
+//! permanent or exhausted failures flip the store into a *degraded* state:
+//! the in-memory graph is kept, the dropped flush is counted, and the
+//! last error is surfaced through the tracker summary instead of being
+//! silently reported as zero stored bytes.
 
-use crate::config::RdfFormat;
-use parking_lot::Mutex;
-use provio_hpcfs::FileSystem;
+use crate::config::{RdfFormat, RetryPolicy};
+use parking_lot::{Condvar, Mutex};
+use provio_hpcfs::{FileSystem, FsError};
 use provio_rdf::{ntriples, turtle, Graph, Namespaces, Triple};
-use provio_simrt::{ChargeGuard, SimTime, VirtualClock};
-use std::sync::atomic::{AtomicU64, Ordering};
+use provio_simrt::{ChargeGuard, SimDuration, SimTime, VirtualClock};
 use std::sync::Arc;
 
 /// The shared background writer pool.
@@ -53,30 +66,113 @@ mod pool {
     }
 }
 
+/// Outstanding background jobs, with a real wait instead of a spin loop.
+struct InFlight {
+    count: Mutex<u64>,
+    zero: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        InFlight {
+            count: Mutex::new(0),
+            zero: Condvar::new(),
+        }
+    }
+
+    fn inc(&self) {
+        *self.count.lock() += 1;
+    }
+
+    fn dec(&self) {
+        let mut c = self.count.lock();
+        *c -= 1;
+        if *c == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait_zero(&self) {
+        let mut c = self.count.lock();
+        while *c != 0 {
+            self.zero.wait(&mut c);
+        }
+    }
+}
+
 struct Writer {
     fs: Arc<FileSystem>,
     path: String,
+    tmp_path: String,
     format: RdfFormat,
     graph: Graph,
+    retry: RetryPolicy,
+    /// Last flush failed permanently; the in-memory graph is still intact.
+    degraded: bool,
+    /// A crash point fired mid-flush: this writer's process is dead. No
+    /// further writes are attempted (recovery belongs to the merge layer).
+    crashed: bool,
+    dropped_flushes: u64,
+    last_error: Option<FsError>,
 }
 
 impl Writer {
-    fn write_out(&self) -> u64 {
+    /// One serialization attempt, crash-consistently: write everything to
+    /// the tmp path, then atomically rename it over the committed path.
+    fn try_commit(&self, bytes: &[u8]) -> Result<(), FsError> {
+        let now = SimTime::ZERO; // store-internal write; mtime is irrelevant
+        let ino = self.fs.create_file(&self.tmp_path, false, "provio", now)?;
+        self.fs.truncate_ino(ino, 0, now)?;
+        self.fs.write_at(ino, 0, bytes, now)?;
+        self.fs.rename(&self.tmp_path, &self.path, now)
+    }
+
+    /// Serialize the sub-graph durably. Returns committed bytes, or 0 when
+    /// the flush was dropped — in which case `degraded`/`last_error` say
+    /// why (never a silent zero).
+    fn write_out(&mut self, charge: Option<&VirtualClock>) -> u64 {
+        if self.crashed {
+            self.dropped_flushes += 1;
+            return 0;
+        }
         let text = match self.format {
             RdfFormat::Turtle => turtle::serialize(&self.graph, &Namespaces::standard()),
             RdfFormat::NTriples => ntriples::serialize(&self.graph),
         };
         let bytes = text.as_bytes();
-        let now = SimTime::ZERO; // store-internal write; mtime is irrelevant
-        let Ok(ino) = self.fs.create_file(&self.path, false, "provio", now) else {
-            return 0; // store location unusable; report nothing durable
-        };
-        if self.fs.truncate_ino(ino, 0, now).is_err()
-            || self.fs.write_at(ino, 0, bytes, now).is_err()
-        {
-            return 0;
+        let mut failures = 0u32;
+        loop {
+            match self.try_commit(bytes) {
+                Ok(()) => {
+                    self.degraded = false;
+                    return bytes.len() as u64;
+                }
+                Err(FsError::Crashed) => {
+                    // The process died mid-flush: no retry, no cleanup.
+                    // A leftover tmp prefix is salvaged at merge time.
+                    self.crashed = true;
+                    self.degraded = true;
+                    self.last_error = Some(FsError::Crashed);
+                    self.dropped_flushes += 1;
+                    return 0;
+                }
+                Err(e) => {
+                    failures += 1;
+                    self.last_error = Some(e);
+                    if e.is_transient() && failures < self.retry.max_attempts {
+                        if let Some(clock) = charge {
+                            clock.advance(SimDuration::from_nanos(
+                                self.retry.backoff_for(failures),
+                            ));
+                        }
+                        continue;
+                    }
+                    self.degraded = true;
+                    self.dropped_flushes += 1;
+                    return 0;
+                }
+            }
         }
-        bytes.len() as u64
     }
 }
 
@@ -84,7 +180,7 @@ impl Writer {
 pub struct ProvenanceStore {
     writer: Arc<Mutex<Writer>>,
     /// Background jobs submitted but not yet completed.
-    in_flight: Arc<AtomicU64>,
+    in_flight: Arc<InFlight>,
     async_store: bool,
     fs: Arc<FileSystem>,
     path: String,
@@ -110,17 +206,29 @@ impl ProvenanceStore {
         let writer = Writer {
             fs: Arc::clone(&fs),
             path: path.clone(),
+            tmp_path: format!("{path}.tmp"),
             format,
             graph: Graph::new(),
+            retry: RetryPolicy::default(),
+            degraded: false,
+            crashed: false,
+            dropped_flushes: 0,
+            last_error: None,
         };
         ProvenanceStore {
             writer: Arc::new(Mutex::new(writer)),
-            in_flight: Arc::new(AtomicU64::new(0)),
+            in_flight: Arc::new(InFlight::new()),
             async_store,
             fs,
             path,
             triples_pushed: Mutex::new(0),
         }
+    }
+
+    /// Override the flush retry/backoff policy.
+    pub fn with_retry(self, retry: RetryPolicy) -> Self {
+        self.writer.lock().retry = retry;
+        self
     }
 
     /// The store file's path on the parallel file system.
@@ -138,7 +246,7 @@ impl ProvenanceStore {
         if self.async_store {
             let writer = Arc::clone(&self.writer);
             let in_flight = Arc::clone(&self.in_flight);
-            in_flight.fetch_add(1, Ordering::AcqRel);
+            in_flight.inc();
             pool::submit(Box::new(move || {
                 {
                     let mut w = writer.lock();
@@ -146,7 +254,7 @@ impl ProvenanceStore {
                         w.graph.insert(t);
                     }
                 }
-                in_flight.fetch_sub(1, Ordering::AcqRel);
+                in_flight.dec();
             }));
         } else {
             let _guard = charge.map(ChargeGuard::new);
@@ -159,9 +267,7 @@ impl ProvenanceStore {
 
     /// Wait until all enqueued batches for this store have been applied.
     fn drain(&self) {
-        while self.in_flight.load(Ordering::Acquire) != 0 {
-            std::thread::yield_now();
-        }
+        self.in_flight.wait_zero();
     }
 
     /// Request an intermediate serialization (periodic policy).
@@ -169,27 +275,44 @@ impl ProvenanceStore {
         if self.async_store {
             let writer = Arc::clone(&self.writer);
             let in_flight = Arc::clone(&self.in_flight);
-            in_flight.fetch_add(1, Ordering::AcqRel);
+            in_flight.inc();
             pool::submit(Box::new(move || {
-                writer.lock().write_out();
-                in_flight.fetch_sub(1, Ordering::AcqRel);
+                writer.lock().write_out(None);
+                in_flight.dec();
             }));
         } else {
             let _guard = charge.map(ChargeGuard::new);
-            self.writer.lock().write_out();
+            self.writer.lock().write_out(charge);
         }
     }
 
     /// Final flush; blocks until the sub-graph file is durable and returns
-    /// its size in bytes.
+    /// its size in bytes (0 if the store is degraded — see
+    /// [`Self::degraded`] / [`Self::last_error`]).
     pub fn finish(&self, charge: Option<&VirtualClock>) -> u64 {
         if self.async_store {
             self.drain();
-            self.writer.lock().write_out()
+            self.writer.lock().write_out(None)
         } else {
             let _guard = charge.map(ChargeGuard::new);
-            self.writer.lock().write_out()
+            self.writer.lock().write_out(charge)
         }
+    }
+
+    /// Did the last flush fail (graph kept in memory, bytes not durable)?
+    pub fn degraded(&self) -> bool {
+        self.writer.lock().degraded
+    }
+
+    /// The most recent flush error, if any (survives a later success, as a
+    /// record of retried trouble).
+    pub fn last_error(&self) -> Option<FsError> {
+        self.writer.lock().last_error
+    }
+
+    /// Flushes dropped after retry exhaustion, permanent error, or crash.
+    pub fn dropped_flushes(&self) -> u64 {
+        self.writer.lock().dropped_flushes
     }
 
     /// Current size of the store file on the parallel file system.
@@ -209,7 +332,7 @@ impl Drop for ProvenanceStore {
         // (e.g. a process crashed before MPI_Finalize).
         if self.async_store {
             self.drain();
-            self.writer.lock().write_out();
+            self.writer.lock().write_out(None);
         }
     }
 }
@@ -217,7 +340,7 @@ impl Drop for ProvenanceStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use provio_hpcfs::LustreConfig;
+    use provio_hpcfs::{FaultOp, FaultPlan, FaultRule, LustreConfig};
     use provio_rdf::{Iri, Subject, Term};
 
     fn triples(n: usize) -> Vec<Triple> {
@@ -243,6 +366,8 @@ mod tests {
         let text = String::from_utf8(fs_read(&fs, "/prov/p1.ttl")).unwrap();
         let (g, _) = turtle::parse(&text).unwrap();
         assert_eq!(g.len(), 5);
+        assert!(!st.degraded());
+        assert_eq!(st.last_error(), None);
     }
 
     #[test]
@@ -313,6 +438,115 @@ mod tests {
             assert!(st.finish(None) > 0);
         }
         assert_eq!(fs.walk_files("/prov/many").unwrap().len(), 2000);
+    }
+
+    #[test]
+    fn commit_never_leaves_tmp_behind_on_success() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/pt.nt", RdfFormat::NTriples, false);
+        st.push(triples(4), None);
+        st.finish(None);
+        assert!(fs.exists("/prov/pt.nt"));
+        assert!(!fs.exists("/prov/pt.nt.tmp"), "tmp renamed away");
+    }
+
+    #[test]
+    fn transient_write_failure_is_retried_to_success() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let plan = FaultPlan::new(11);
+        plan.add_rule(
+            FaultRule::fail(FaultOp::WriteAt, FsError::Io)
+                .on_path("/prov/pr.nt.tmp")
+                .times(2),
+        );
+        fs.install_faults(Arc::clone(&plan));
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/pr.nt", RdfFormat::NTriples, false)
+            .with_retry(RetryPolicy {
+                max_attempts: 3,
+                backoff_ns: 1_000,
+            });
+        st.push(triples(7), None);
+        let clock = VirtualClock::new();
+        let bytes = st.finish(Some(&clock));
+        assert!(bytes > 0, "two transient failures, third attempt lands");
+        assert!(!st.degraded());
+        assert_eq!(st.last_error(), Some(FsError::Io), "retries leave a trace");
+        assert_eq!(plan.injected(), 2);
+        // Exponential backoff charged to the rank: 1000 + 2000 ns.
+        assert!(clock.now().as_nanos() >= 3_000);
+        let text = String::from_utf8(fs_read(&fs, "/prov/pr.nt")).unwrap();
+        assert_eq!(ntriples::parse(&text).unwrap().len(), 7);
+    }
+
+    #[test]
+    fn permanent_failure_degrades_never_silently_zero() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let plan = FaultPlan::new(12);
+        plan.add_rule(FaultRule::fail(FaultOp::WriteAt, FsError::NoSpace).on_path("pd.nt.tmp"));
+        fs.install_faults(plan);
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/pd.nt", RdfFormat::NTriples, false)
+            .with_retry(RetryPolicy {
+                max_attempts: 2,
+                backoff_ns: 0,
+            });
+        st.push(triples(5), None);
+        assert_eq!(st.finish(None), 0);
+        assert!(st.degraded(), "flush dropped, state surfaced");
+        assert_eq!(st.last_error(), Some(FsError::NoSpace));
+        assert_eq!(st.dropped_flushes(), 1);
+        // The committed path never appeared; the graph is still in memory.
+        assert!(!fs.exists("/prov/pd.nt"));
+        // Clearing the fault lets a later flush recover everything.
+        fs.clear_faults();
+        assert!(st.finish(None) > 0);
+        assert!(!st.degraded());
+        let text = String::from_utf8(fs_read(&fs, "/prov/pd.nt")).unwrap();
+        assert_eq!(ntriples::parse(&text).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn crash_mid_flush_leaves_only_torn_tmp() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let plan = FaultPlan::new(13);
+        plan.add_rule(
+            FaultRule::crash(FaultOp::WriteAt).on_path("pc.nt.tmp").torn(10),
+        );
+        fs.install_faults(plan);
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/pc.nt", RdfFormat::NTriples, false);
+        st.push(triples(6), None);
+        assert_eq!(st.finish(None), 0);
+        assert!(st.degraded());
+        assert_eq!(st.last_error(), Some(FsError::Crashed));
+        // The committed path is untouched; the torn prefix sits in tmp.
+        assert!(!fs.exists("/prov/pc.nt"));
+        assert_eq!(fs.stat("/prov/pc.nt.tmp").unwrap().size, 10);
+        // A crashed process never writes again, even after faults clear.
+        fs.clear_faults();
+        assert_eq!(st.finish(None), 0);
+        assert_eq!(st.dropped_flushes(), 2);
+        assert!(!fs.exists("/prov/pc.nt"));
+    }
+
+    #[test]
+    fn crash_between_write_and_rename_keeps_previous_commit() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/pv.nt", RdfFormat::NTriples, false);
+        st.push(triples(3), None);
+        let committed = st.finish(None);
+        assert!(committed > 0);
+        // Now arm a crash on the rename: the NEW flush dies after fully
+        // writing tmp, and the committed file must still be the OLD graph.
+        let plan = FaultPlan::new(14);
+        plan.add_rule(FaultRule::crash(FaultOp::Rename).on_path("pv.nt.tmp"));
+        fs.install_faults(plan);
+        st.push(triples(30), None);
+        assert_eq!(st.finish(None), 0);
+        let text = String::from_utf8(fs_read(&fs, "/prov/pv.nt")).unwrap();
+        assert_eq!(
+            ntriples::parse(&text).unwrap().len(),
+            3,
+            "reader sees the previous complete sub-graph, never a mix"
+        );
     }
 
     fn fs_read(fs: &Arc<FileSystem>, path: &str) -> Vec<u8> {

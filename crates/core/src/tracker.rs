@@ -95,6 +95,13 @@ pub struct TrackSummary {
     pub triples: u64,
     pub store_bytes: u64,
     pub store_path: String,
+    /// The final flush failed; `store_bytes` is 0 but the sub-graph was
+    /// kept in memory, not silently lost.
+    pub degraded: bool,
+    /// errno name of the most recent store error, if any.
+    pub last_error: Option<String>,
+    /// Store flushes dropped over the tracker's lifetime.
+    pub dropped_flushes: u64,
 }
 
 /// Per-process provenance capture state.
@@ -145,7 +152,8 @@ impl ProvTracker {
             pid,
             config.format.extension()
         );
-        let store = ProvenanceStore::new(fs, store_path, config.format, config.async_store);
+        let store = ProvenanceStore::new(fs, store_path, config.format, config.async_store)
+            .with_retry(config.retry);
         let program_guid = GuidGen::agent("Program", program);
         let thread_guid = GuidGen::agent("Thread", &format!("{program}-rank{pid}"));
         let tracker = Arc::new(ProvTracker {
@@ -504,6 +512,9 @@ impl ProvTracker {
             triples: st.triples_total,
             store_bytes,
             store_path: self.store.path().to_string(),
+            degraded: self.store.degraded(),
+            last_error: self.store.last_error().map(|e| e.errno_name().to_string()),
+            dropped_flushes: self.store.dropped_flushes(),
         }
     }
 }

@@ -69,7 +69,7 @@ impl Dataspace {
         self.dims
             .iter()
             .zip(&self.maxdims)
-            .any(|(d, m)| m.map_or(true, |m| m > *d))
+            .any(|(d, m)| m.is_none_or(|m| m > *d))
     }
 
     /// Grow to `new_dims` (H5Dset_extent). Shrinking is allowed by HDF5 and
@@ -179,7 +179,7 @@ impl Hyperslab {
             let mut full_coord = coord.clone();
             if run_dims < rank {
                 full_coord.push(self.start[run_dims]);
-                full_coord.extend(std::iter::repeat(0).take(rank - run_dims - 1));
+                full_coord.extend(std::iter::repeat_n(0, rank - run_dims - 1));
             }
             let off = space.linear_index(&full_coord)?;
             out.push((off, run_len));

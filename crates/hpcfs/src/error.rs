@@ -31,6 +31,12 @@ pub enum FsError {
     NoSpace,
     /// EXDEV — cross-"device" rename (reserved; single device today).
     CrossDevice,
+    /// EIO — injected I/O fault (torn write, media error).
+    Io,
+    /// Simulation-only: the calling process was killed mid-operation by a
+    /// fault-plan crash point. Not a POSIX errno — a crashed process never
+    /// observes it; the *recovery* path (merge) is what reacts.
+    Crashed,
 }
 
 impl FsError {
@@ -50,7 +56,17 @@ impl FsError {
             FsError::TooManySymlinks => "ELOOP",
             FsError::NoSpace => "ENOSPC",
             FsError::CrossDevice => "EXDEV",
+            FsError::Io => "EIO",
+            FsError::Crashed => "ESIMCRASH",
         }
+    }
+
+    /// Whether a writer may reasonably retry the operation: media-level
+    /// EIO and ENOSPC can clear (transient contention, quota churn);
+    /// namespace/argument errors are permanent, and [`FsError::Crashed`]
+    /// means there is no process left to retry.
+    pub fn is_transient(self) -> bool {
+        matches!(self, FsError::Io | FsError::NoSpace)
     }
 }
 

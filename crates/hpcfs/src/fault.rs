@@ -1,0 +1,299 @@
+//! Seeded, deterministic fault injection.
+//!
+//! A [`FaultPlan`] is installed on a [`crate::FileSystem`] and consulted by
+//! the mutating data-path operations (`create_file`, `write_at`, `rename`,
+//! `truncate_ino`). Each [`FaultRule`] selects an operation (optionally
+//! narrowed to paths containing a substring), waits out a number of clean
+//! calls, then fires a [`FaultAction`] — a typed POSIX error, a *torn write*
+//! that persists only a prefix of the buffer, or a *crash point* that kills
+//! the writing process mid-operation ([`FsError::Crashed`]).
+//!
+//! Randomized rules draw from a [`DetRng`] stream derived from the plan's
+//! seed, so a failing schedule replays bit-for-bit from `(seed, rules)` —
+//! the same contract the rest of the simulation keeps for time and data.
+
+use crate::error::FsError;
+use parking_lot::Mutex;
+use provio_simrt::DetRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Stream id carved out of the run seed for fault decisions, so fault
+/// randomness never perturbs workload randomness under the same seed.
+const FAULT_STREAM: u64 = 0xFA17;
+
+/// Which file-system operation a rule arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    CreateFile,
+    WriteAt,
+    Rename,
+    TruncateIno,
+}
+
+/// What happens when a rule fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the call with a typed errno; nothing is persisted.
+    Fail(FsError),
+    /// Persist only the first `keep` bytes of the buffer, then report EIO.
+    /// Models a torn write: the media holds a prefix, the caller sees an
+    /// error. Only meaningful for `WriteAt`; elsewhere it degrades to EIO.
+    TornWrite { keep: u64 },
+    /// Kill the writer mid-operation: optionally persist a `torn_keep`-byte
+    /// prefix (for `WriteAt`), then return [`FsError::Crashed`]. A crashed
+    /// process must not retry or clean up — recovery happens at merge time.
+    Crash { torn_keep: Option<u64> },
+}
+
+/// One armed fault: operation selector, path filter, scheduling, action.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    op: FaultOp,
+    path_substr: Option<String>,
+    /// Clean calls to let through before the rule becomes eligible.
+    skip: u32,
+    /// How many times the rule may fire (`None` = unlimited).
+    times: Option<u32>,
+    /// Probability of firing once eligible (1.0 = always).
+    probability: f64,
+    action: FaultAction,
+}
+
+impl FaultRule {
+    /// Rule failing `op` with errno `err` on every eligible call.
+    pub fn fail(op: FaultOp, err: FsError) -> Self {
+        FaultRule {
+            op,
+            path_substr: None,
+            skip: 0,
+            times: None,
+            probability: 1.0,
+            action: FaultAction::Fail(err),
+        }
+    }
+
+    /// Torn write: persist `keep` bytes then fail with EIO.
+    pub fn torn_write(keep: u64) -> Self {
+        FaultRule {
+            op: FaultOp::WriteAt,
+            path_substr: None,
+            skip: 0,
+            times: None,
+            probability: 1.0,
+            action: FaultAction::TornWrite { keep },
+        }
+    }
+
+    /// Crash point on `op` (no partial persistence unless [`Self::torn`]).
+    pub fn crash(op: FaultOp) -> Self {
+        FaultRule {
+            op,
+            path_substr: None,
+            skip: 0,
+            times: None,
+            probability: 1.0,
+            action: FaultAction::Crash { torn_keep: None },
+        }
+    }
+
+    /// For a crash rule: also persist a `keep`-byte prefix of the buffer.
+    pub fn torn(mut self, keep: u64) -> Self {
+        if let FaultAction::Crash { torn_keep } = &mut self.action {
+            *torn_keep = Some(keep);
+        }
+        self
+    }
+
+    /// Only fire on paths containing `substr`.
+    pub fn on_path(mut self, substr: impl Into<String>) -> Self {
+        self.path_substr = Some(substr.into());
+        self
+    }
+
+    /// Let `n` matching calls through cleanly before becoming eligible.
+    pub fn after(mut self, n: u32) -> Self {
+        self.skip = n;
+        self
+    }
+
+    /// Fire at most `n` times, then disarm — the transient-then-recover
+    /// shape: `.times(2)` fails twice, then the operation succeeds.
+    pub fn times(mut self, n: u32) -> Self {
+        self.times = Some(n);
+        self
+    }
+
+    /// Fire with probability `p` per eligible call (seeded, deterministic).
+    pub fn with_probability(mut self, p: f64) -> Self {
+        self.probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    fn matches(&self, op: FaultOp, path: &str) -> bool {
+        self.op == op
+            && self
+                .path_substr
+                .as_deref()
+                .is_none_or(|s| path.contains(s))
+    }
+}
+
+#[derive(Debug)]
+struct RuleState {
+    rule: FaultRule,
+    skipped: u32,
+    fired: u32,
+}
+
+/// A deterministic schedule of faults, shared by reference with the
+/// file system it is installed on.
+#[derive(Debug)]
+pub struct FaultPlan {
+    rules: Mutex<Vec<RuleState>>,
+    rng: Mutex<DetRng>,
+    injected: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan; all randomness derives from `seed`.
+    pub fn new(seed: u64) -> Arc<Self> {
+        Arc::new(FaultPlan {
+            rules: Mutex::new(Vec::new()),
+            rng: Mutex::new(DetRng::with_stream(seed, FAULT_STREAM)),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// Arm a rule. Rules are consulted in insertion order; the first one
+    /// that fires wins.
+    pub fn add_rule(&self, rule: FaultRule) {
+        self.rules.lock().push(RuleState {
+            rule,
+            skipped: 0,
+            fired: 0,
+        });
+    }
+
+    /// Builder-style [`Self::add_rule`] for plan construction chains.
+    pub fn with_rule(self: Arc<Self>, rule: FaultRule) -> Arc<Self> {
+        self.add_rule(rule);
+        self
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Consult the plan for `op` on `path`. Called by the file system on
+    /// every armed operation; returns the action to apply, if any.
+    pub fn decide(&self, op: FaultOp, path: &str) -> Option<FaultAction> {
+        let mut rules = self.rules.lock();
+        for st in rules.iter_mut() {
+            if !st.rule.matches(op, path) {
+                continue;
+            }
+            if st.skipped < st.rule.skip {
+                st.skipped += 1;
+                continue;
+            }
+            if st.rule.times.is_some_and(|t| st.fired >= t) {
+                continue;
+            }
+            if st.rule.probability < 1.0 {
+                let draw = self.rng.lock().f64();
+                if draw >= st.rule.probability {
+                    continue;
+                }
+            }
+            st.fired += 1;
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Some(st.rule.action.clone());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_fires_after_skip_then_exhausts() {
+        let plan = FaultPlan::new(1);
+        plan.add_rule(FaultRule::fail(FaultOp::WriteAt, FsError::Io).after(2).times(1));
+        assert_eq!(plan.decide(FaultOp::WriteAt, "/a"), None);
+        assert_eq!(plan.decide(FaultOp::WriteAt, "/a"), None);
+        assert_eq!(
+            plan.decide(FaultOp::WriteAt, "/a"),
+            Some(FaultAction::Fail(FsError::Io))
+        );
+        assert_eq!(plan.decide(FaultOp::WriteAt, "/a"), None);
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn path_filter_narrows_blast_radius() {
+        let plan = FaultPlan::new(2);
+        plan.add_rule(FaultRule::fail(FaultOp::Rename, FsError::NoSpace).on_path("prov_p3"));
+        assert_eq!(plan.decide(FaultOp::Rename, "/provio/prov_p1.nt.tmp"), None);
+        assert_eq!(
+            plan.decide(FaultOp::Rename, "/provio/prov_p3.nt.tmp"),
+            Some(FaultAction::Fail(FsError::NoSpace))
+        );
+    }
+
+    #[test]
+    fn wrong_op_never_fires() {
+        let plan = FaultPlan::new(3);
+        plan.add_rule(FaultRule::crash(FaultOp::Rename));
+        assert_eq!(plan.decide(FaultOp::WriteAt, "/x"), None);
+        assert_eq!(plan.decide(FaultOp::CreateFile, "/x"), None);
+        assert!(matches!(
+            plan.decide(FaultOp::Rename, "/x"),
+            Some(FaultAction::Crash { torn_keep: None })
+        ));
+    }
+
+    #[test]
+    fn probabilistic_rule_is_seed_deterministic() {
+        let draws = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::new(seed);
+            plan.add_rule(
+                FaultRule::fail(FaultOp::WriteAt, FsError::Io).with_probability(0.5),
+            );
+            (0..64)
+                .map(|_| plan.decide(FaultOp::WriteAt, "/x").is_some())
+                .collect()
+        };
+        let a = draws(7);
+        assert_eq!(a, draws(7), "same seed, same schedule");
+        assert_ne!(a, draws(8), "different seed, different schedule");
+        let hits = a.iter().filter(|&&h| h).count();
+        assert!(hits > 8 && hits < 56, "p=0.5 should fire sometimes: {hits}");
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let plan = FaultPlan::new(4);
+        plan.add_rule(FaultRule::torn_write(10));
+        plan.add_rule(FaultRule::fail(FaultOp::WriteAt, FsError::NoSpace));
+        assert_eq!(
+            plan.decide(FaultOp::WriteAt, "/x"),
+            Some(FaultAction::TornWrite { keep: 10 })
+        );
+    }
+
+    #[test]
+    fn crash_with_torn_prefix() {
+        let plan = FaultPlan::new(5);
+        plan.add_rule(FaultRule::crash(FaultOp::WriteAt).torn(32));
+        assert_eq!(
+            plan.decide(FaultOp::WriteAt, "/x"),
+            Some(FaultAction::Crash {
+                torn_keep: Some(32)
+            })
+        );
+    }
+}

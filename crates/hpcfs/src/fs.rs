@@ -8,8 +8,9 @@
 
 use crate::content::FileContent;
 use crate::error::{FsError, FsResult};
+use crate::fault::{FaultAction, FaultOp, FaultPlan};
 use crate::lustre::LustreConfig;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use provio_simrt::SimTime;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -105,6 +106,11 @@ struct FsInner {
 pub struct FileSystem {
     inner: RwLock<FsInner>,
     config: LustreConfig,
+    /// Installed fault schedule, if any (see [`crate::fault`]).
+    faults: RwLock<Option<Arc<FaultPlan>>>,
+    /// ino → last-created/renamed path, so ino-level ops (`write_at`,
+    /// `truncate_ino`) can be matched by path-filtered fault rules.
+    ino_paths: Mutex<HashMap<Ino, String>>,
 }
 
 impl FileSystem {
@@ -127,12 +133,34 @@ impl FileSystem {
                 root: 1,
             }),
             config,
+            faults: RwLock::new(None),
+            ino_paths: Mutex::new(HashMap::new()),
         })
     }
 
     /// The cost model used for this file system.
     pub fn config(&self) -> &LustreConfig {
         &self.config
+    }
+
+    // --- fault injection -------------------------------------------------
+
+    /// Install a fault schedule, replacing any existing one.
+    pub fn install_faults(&self, plan: Arc<FaultPlan>) {
+        *self.faults.write() = Some(plan);
+    }
+
+    /// Remove the installed fault schedule.
+    pub fn clear_faults(&self) {
+        *self.faults.write() = None;
+    }
+
+    fn fault_decision(&self, op: FaultOp, path: &str) -> Option<FaultAction> {
+        self.faults.read().as_ref().and_then(|p| p.decide(op, path))
+    }
+
+    fn ino_path(&self, ino: Ino) -> String {
+        self.ino_paths.lock().get(&ino).cloned().unwrap_or_default()
     }
 
     // --- path machinery ------------------------------------------------
@@ -219,6 +247,24 @@ impl FileSystem {
     /// Create a regular file. `excl` makes an existing file an error;
     /// otherwise an existing regular file is reused (open(O_CREAT)).
     pub fn create_file(
+        &self,
+        path: &str,
+        excl: bool,
+        owner: &str,
+        now: SimTime,
+    ) -> FsResult<Ino> {
+        match self.fault_decision(FaultOp::CreateFile, path) {
+            Some(FaultAction::Fail(e)) => return Err(e),
+            Some(FaultAction::TornWrite { .. }) => return Err(FsError::Io),
+            Some(FaultAction::Crash { .. }) => return Err(FsError::Crashed),
+            None => {}
+        }
+        let ino = self.create_file_inner(path, excl, owner, now)?;
+        self.ino_paths.lock().insert(ino, path.to_string());
+        Ok(ino)
+    }
+
+    fn create_file_inner(
         &self,
         path: &str,
         excl: bool,
@@ -374,6 +420,22 @@ impl FileSystem {
     /// rename(2): atomically move `old` to `new`, replacing a non-directory
     /// target.
     pub fn rename(&self, old: &str, new: &str, now: SimTime) -> FsResult<()> {
+        if let Some(action) = self
+            .fault_decision(FaultOp::Rename, old)
+            .or_else(|| self.fault_decision(FaultOp::Rename, new))
+        {
+            return Err(match action {
+                FaultAction::Fail(e) => e,
+                FaultAction::TornWrite { .. } => FsError::Io,
+                FaultAction::Crash { .. } => FsError::Crashed,
+            });
+        }
+        let ino = self.rename_inner(old, new, now)?;
+        self.ino_paths.lock().insert(ino, new.to_string());
+        Ok(())
+    }
+
+    fn rename_inner(&self, old: &str, new: &str, now: SimTime) -> FsResult<Ino> {
         let mut inner = self.inner.write();
         let (old_parent, old_name) = Self::resolve_parent(&inner, old)?;
         let (new_parent, new_name) = Self::resolve_parent(&inner, new)?;
@@ -393,7 +455,7 @@ impl FileSystem {
             .get(new_name)
         {
             if target == ino {
-                return Ok(()); // rename to itself
+                return Ok(ino); // rename to itself
             }
             match inner.inodes[&target].kind() {
                 FileKind::Directory => {
@@ -432,7 +494,7 @@ impl FileSystem {
         if let Some(n) = inner.inodes.get_mut(&ino) {
             n.ctime = now;
         }
-        Ok(())
+        Ok(ino)
     }
 
     /// Hard link `existing` at `new`.
@@ -557,6 +619,31 @@ impl FileSystem {
     }
 
     pub fn write_at(&self, ino: Ino, offset: u64, data: &[u8], now: SimTime) -> FsResult<()> {
+        match self.fault_decision(FaultOp::WriteAt, &self.ino_path(ino)) {
+            Some(FaultAction::Fail(e)) => return Err(e),
+            Some(FaultAction::TornWrite { keep }) => {
+                // Persist only a prefix, then report the media error.
+                let keep = keep.min(data.len() as u64) as usize;
+                if keep > 0 {
+                    self.write_at_inner(ino, offset, &data[..keep], now)?;
+                }
+                return Err(FsError::Io);
+            }
+            Some(FaultAction::Crash { torn_keep }) => {
+                if let Some(keep) = torn_keep {
+                    let keep = keep.min(data.len() as u64) as usize;
+                    if keep > 0 {
+                        let _ = self.write_at_inner(ino, offset, &data[..keep], now);
+                    }
+                }
+                return Err(FsError::Crashed);
+            }
+            None => {}
+        }
+        self.write_at_inner(ino, offset, data, now)
+    }
+
+    fn write_at_inner(&self, ino: Ino, offset: u64, data: &[u8], now: SimTime) -> FsResult<()> {
         let mut inner = self.inner.write();
         let n = inner.inodes.get_mut(&ino).ok_or(FsError::BadFd)?;
         n.as_file_mut()?.write(offset, data);
@@ -579,6 +666,12 @@ impl FileSystem {
     }
 
     pub fn truncate_ino(&self, ino: Ino, size: u64, now: SimTime) -> FsResult<()> {
+        match self.fault_decision(FaultOp::TruncateIno, &self.ino_path(ino)) {
+            Some(FaultAction::Fail(e)) => return Err(e),
+            Some(FaultAction::TornWrite { .. }) => return Err(FsError::Io),
+            Some(FaultAction::Crash { .. }) => return Err(FsError::Crashed),
+            None => {}
+        }
         let mut inner = self.inner.write();
         let n = inner.inodes.get_mut(&ino).ok_or(FsError::BadFd)?;
         n.as_file_mut()?.truncate(size);

@@ -23,6 +23,7 @@
 
 pub mod content;
 pub mod error;
+pub mod fault;
 pub mod fs;
 pub mod lustre;
 pub mod session;
@@ -30,6 +31,7 @@ pub mod syscall;
 
 pub use content::FileContent;
 pub use error::{FsError, FsResult};
+pub use fault::{FaultAction, FaultOp, FaultPlan, FaultRule};
 pub use fs::{FileKind, FileSystem, Metadata};
 pub use lustre::LustreConfig;
 pub use session::{Fd, FsSession, OpenFlags, Whence};

@@ -168,6 +168,7 @@ impl FsSession {
         self.clock.advance(d);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn emit(
         &self,
         kind: SyscallKind,

@@ -1,0 +1,167 @@
+//! Property tests for the fault-injection layer: torn writes persist
+//! exactly the promised prefix, crash points never mutate anything beyond
+//! their declared prefix, and fault schedules replay deterministically.
+
+use proptest::prelude::*;
+use provio_hpcfs::{FaultOp, FaultPlan, FaultRule, FileSystem, FsError, LustreConfig};
+use provio_simrt::SimTime;
+use std::sync::Arc;
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i % 251) as u8).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A torn write persists exactly `min(keep, len)` bytes and reports
+    /// EIO; the stored prefix is bit-identical to the buffer's prefix.
+    #[test]
+    fn torn_write_persists_exact_prefix(len in 1usize..2048, keep in 0u64..4096) {
+        let fs = FileSystem::new(LustreConfig::default());
+        let plan = FaultPlan::new(1);
+        plan.add_rule(FaultRule::torn_write(keep).on_path("/victim"));
+        fs.install_faults(plan);
+        let data = payload(len);
+        let ino = fs.create_file("/victim", false, "u", SimTime::ZERO).unwrap();
+        prop_assert_eq!(fs.write_at(ino, 0, &data, SimTime::ZERO), Err(FsError::Io));
+        let expect = keep.min(len as u64);
+        prop_assert_eq!(fs.file_size(ino).unwrap(), expect);
+        let stored = fs.read_at(ino, 0, expect).unwrap();
+        prop_assert_eq!(&stored[..], &data[..expect as usize]);
+    }
+
+    /// A crash point on any armed op returns ESIMCRASH and leaves the
+    /// namespace/content exactly as declared: nothing for create/rename/
+    /// truncate, at most the torn prefix for write.
+    #[test]
+    fn crash_points_never_mutate_beyond_declared_prefix(
+        op_pick in 0u8..4,
+        has_torn in any::<bool>(),
+        keep_raw in 0u64..64,
+        len in 1usize..256,
+    ) {
+        let torn_keep = if has_torn { Some(keep_raw) } else { None };
+        let op = [FaultOp::CreateFile, FaultOp::WriteAt, FaultOp::Rename, FaultOp::TruncateIno]
+            [op_pick as usize];
+        let fs = FileSystem::new(LustreConfig::default());
+        let data = payload(len);
+        // Pre-existing committed state the crash must not disturb.
+        let ino = fs.create_file("/old", false, "u", SimTime::ZERO).unwrap();
+        fs.write_at(ino, 0, &data, SimTime::ZERO).unwrap();
+
+        let plan = FaultPlan::new(2);
+        let mut rule = FaultRule::crash(op);
+        if let Some(k) = torn_keep {
+            rule = rule.torn(k);
+        }
+        plan.add_rule(rule);
+        fs.install_faults(plan);
+
+        match op {
+            FaultOp::CreateFile => {
+                prop_assert_eq!(
+                    fs.create_file("/new", false, "u", SimTime::ZERO),
+                    Err(FsError::Crashed)
+                );
+                prop_assert!(!fs.exists("/new"), "no inode materialized");
+            }
+            FaultOp::WriteAt => {
+                let before = data.clone();
+                let err = fs.write_at(ino, 0, &[0xAA; 300], SimTime::ZERO);
+                prop_assert_eq!(err, Err(FsError::Crashed));
+                let kept = torn_keep.unwrap_or(0).min(300);
+                let now = fs.read_at(ino, 0, fs.file_size(ino).unwrap()).unwrap();
+                // Declared prefix is the new bytes; the rest is untouched.
+                for (i, b) in now.iter().enumerate() {
+                    if (i as u64) < kept {
+                        prop_assert_eq!(*b, 0xAA);
+                    } else if i < before.len() {
+                        prop_assert_eq!(*b, before[i]);
+                    }
+                }
+            }
+            FaultOp::Rename => {
+                prop_assert_eq!(
+                    fs.rename("/old", "/moved", SimTime::ZERO),
+                    Err(FsError::Crashed)
+                );
+                prop_assert!(fs.exists("/old"), "source still in place");
+                prop_assert!(!fs.exists("/moved"));
+            }
+            FaultOp::TruncateIno => {
+                prop_assert_eq!(
+                    fs.truncate_ino(ino, 0, SimTime::ZERO),
+                    Err(FsError::Crashed)
+                );
+                prop_assert_eq!(fs.file_size(ino).unwrap(), len as u64, "size unchanged");
+            }
+        }
+    }
+
+    /// A probabilistic schedule replays identically for the same seed and
+    /// rule set, independent of what the workload data looks like.
+    #[test]
+    fn schedules_replay_deterministically(seed in 0u64..1_000_000, p in 0.05f64..0.95) {
+        let run = |seed: u64| -> Vec<bool> {
+            let fs = FileSystem::new(LustreConfig::default());
+            let plan = FaultPlan::new(seed);
+            plan.add_rule(
+                FaultRule::fail(FaultOp::WriteAt, FsError::NoSpace).with_probability(p),
+            );
+            fs.install_faults(plan);
+            let ino = fs.create_file("/f", false, "u", SimTime::ZERO).unwrap();
+            (0..32)
+                .map(|i| fs.write_at(ino, i, b"x", SimTime::ZERO).is_err())
+                .collect()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}
+
+#[test]
+fn transient_rule_recovers_after_n_failures() {
+    let fs = FileSystem::new(LustreConfig::default());
+    let plan = FaultPlan::new(3);
+    plan.add_rule(FaultRule::fail(FaultOp::WriteAt, FsError::Io).times(3));
+    fs.install_faults(Arc::clone(&plan));
+    let ino = fs.create_file("/t", false, "u", SimTime::ZERO).unwrap();
+    for _ in 0..3 {
+        assert_eq!(fs.write_at(ino, 0, b"abc", SimTime::ZERO), Err(FsError::Io));
+    }
+    assert!(fs.write_at(ino, 0, b"abc", SimTime::ZERO).is_ok());
+    assert_eq!(plan.injected(), 3);
+    assert_eq!(fs.file_size(ino).unwrap(), 3);
+}
+
+#[test]
+fn clearing_faults_restores_clean_operation() {
+    let fs = FileSystem::new(LustreConfig::default());
+    let plan = FaultPlan::new(4);
+    plan.add_rule(FaultRule::fail(FaultOp::CreateFile, FsError::NoSpace));
+    fs.install_faults(plan);
+    assert_eq!(
+        fs.create_file("/x", false, "u", SimTime::ZERO),
+        Err(FsError::NoSpace)
+    );
+    fs.clear_faults();
+    assert!(fs.create_file("/x", false, "u", SimTime::ZERO).is_ok());
+}
+
+#[test]
+fn renamed_files_keep_matching_path_rules() {
+    // Path-filtered WriteAt rules must track a file across rename — the
+    // store's tmp file becomes the committed path.
+    let fs = FileSystem::new(LustreConfig::default());
+    let plan = FaultPlan::new(5);
+    plan.add_rule(FaultRule::fail(FaultOp::WriteAt, FsError::Io).on_path("/final"));
+    fs.install_faults(plan);
+    let ino = fs.create_file("/staging", false, "u", SimTime::ZERO).unwrap();
+    assert!(fs.write_at(ino, 0, b"ok", SimTime::ZERO).is_ok(), "no match yet");
+    fs.rename("/staging", "/final", SimTime::ZERO).unwrap();
+    assert_eq!(
+        fs.write_at(ino, 0, b"boom", SimTime::ZERO),
+        Err(FsError::Io),
+        "rule follows the inode to its new path"
+    );
+}

@@ -3,15 +3,15 @@
 use parking_lot::Mutex;
 use provio_hpcfs::FileSystem;
 use provio_simrt::{ChargeGuard, SimTime, VirtualClock};
-use serde::Serialize;
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// Handle to an in-flight task (execution step).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TaskHandle(u64);
 
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 struct StepRecord<'a> {
     record_kind: &'a str,
     workflow: &'a str,
@@ -26,6 +26,52 @@ struct StepRecord<'a> {
     ended_at_ns: u64,
     inputs: &'a BTreeMap<String, String>,
     outputs: &'a BTreeMap<String, String>,
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    out.push_str(&serde_json::escape_str(s));
+    out.push('"');
+}
+
+fn push_json_map(out: &mut String, map: &BTreeMap<String, String>) {
+    out.push('{');
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, k);
+        out.push(':');
+        push_json_str(out, v);
+    }
+    out.push('}');
+}
+
+impl StepRecord<'_> {
+    /// One JSONL line, field order matching the struct declaration.
+    fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"record_kind\":");
+        push_json_str(&mut out, self.record_kind);
+        out.push_str(",\"workflow\":");
+        push_json_str(&mut out, self.workflow);
+        let _ = write!(out, ",\"workflow_instance\":{}", self.workflow_instance);
+        out.push_str(",\"workflow_attributes\":");
+        push_json_map(&mut out, self.workflow_attributes);
+        out.push_str(",\"task\":");
+        push_json_str(&mut out, self.task);
+        let _ = write!(
+            out,
+            ",\"task_id\":{},\"cycle\":{},\"started_at_ns\":{},\"ended_at_ns\":{}",
+            self.task_id, self.cycle, self.started_at_ns, self.ended_at_ns
+        );
+        out.push_str(",\"inputs\":");
+        push_json_map(&mut out, self.inputs);
+        out.push_str(",\"outputs\":");
+        push_json_map(&mut out, self.outputs);
+        out.push('}');
+        out
+    }
 }
 
 #[derive(Debug)]
@@ -173,7 +219,7 @@ impl ProvLakeTracker {
             inputs: &t.inputs,
             outputs: &t.outputs,
         };
-        let line = serde_json::to_string(&record).expect("serializable record");
+        let line = record.to_json();
         st.lines.push(line);
         st.records += 1;
     }

@@ -230,7 +230,7 @@ impl Graph {
             (Some(s), p, o) => {
                 if let Some(pairs) = self.spo.get(&s) {
                     for &(tp, to) in pairs {
-                        if p.map_or(true, |p| p == tp) && o.map_or(true, |o| o == to) {
+                        if p.is_none_or(|p| p == tp) && o.is_none_or(|o| o == to) {
                             out.push((TermId(s), TermId(tp), TermId(to)));
                         }
                     }
@@ -239,7 +239,7 @@ impl Graph {
             (None, Some(p), o) => {
                 if let Some(pairs) = self.pos.get(&p) {
                     for &(to, ts) in pairs {
-                        if o.map_or(true, |o| o == to) {
+                        if o.is_none_or(|o| o == to) {
                             out.push((TermId(ts), TermId(p), TermId(to)));
                         }
                     }

@@ -92,7 +92,7 @@ impl Namespaces {
         let mut best: Option<(&str, &str)> = None;
         for (prefix, base) in &self.by_prefix {
             if let Some(local) = iri.strip_prefix(base.as_str()) {
-                if best.map_or(true, |(_, b)| base.len() > b.len()) {
+                if best.is_none_or(|(_, b)| base.len() > b.len()) {
                     best = Some((prefix, base));
                     let _ = local;
                 }

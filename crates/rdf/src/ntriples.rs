@@ -56,6 +56,28 @@ pub fn parse(src: &str) -> Result<Graph, ParseError> {
     Ok(g)
 }
 
+/// Parse the longest valid prefix of a (possibly torn) N-Triples document
+/// into `graph`, returning how many triples were recovered. Parsing stops
+/// at the first malformed line, so a torn tail can only drop data, never
+/// contribute garbage — the salvage primitive used by the post-run merge.
+pub fn parse_lenient_prefix(src: &str, graph: &mut Graph) -> usize {
+    let mut recovered = 0;
+    for (lineno, line) in src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_line(line, lineno + 1) {
+            Ok(t) => {
+                graph.insert(&t);
+                recovered += 1;
+            }
+            Err(_) => break,
+        }
+    }
+    recovered
+}
+
 /// Parse an N-Triples document, merging into `graph`.
 pub fn parse_into(src: &str, graph: &mut Graph) -> Result<(), ParseError> {
     for (lineno, line) in src.lines().enumerate() {
@@ -237,6 +259,27 @@ mod tests {
     #[test]
     fn rejects_missing_dot() {
         assert!(parse("<urn:a> <urn:p> <urn:b>").is_err());
+    }
+
+    #[test]
+    fn lenient_prefix_stops_at_torn_line() {
+        let src = "<urn:a> <urn:p> <urn:b> .\n<urn:c> <urn:p> <urn:d> .\n<urn:e> <urn:p> \"tor";
+        let mut g = Graph::new();
+        assert_eq!(parse_lenient_prefix(src, &mut g), 2);
+        assert_eq!(g.len(), 2);
+        assert!(g.contains(&Triple::new(
+            Subject::iri("urn:c"),
+            Iri::new("urn:p"),
+            Term::iri("urn:d"),
+        )));
+    }
+
+    #[test]
+    fn lenient_prefix_of_valid_doc_recovers_everything() {
+        let nt = serialize(&sample());
+        let mut g = Graph::new();
+        assert_eq!(parse_lenient_prefix(&nt, &mut g), 4);
+        assert_eq!(g.len(), sample().len());
     }
 
     #[test]

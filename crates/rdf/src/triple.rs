@@ -62,9 +62,9 @@ impl TriplePattern {
 
     /// Does `t` match this pattern?
     pub fn matches(&self, t: &Triple) -> bool {
-        self.subject.as_ref().map_or(true, |s| *s == t.subject)
-            && self.predicate.as_ref().map_or(true, |p| *p == t.predicate)
-            && self.object.as_ref().map_or(true, |o| *o == t.object)
+        self.subject.as_ref().is_none_or(|s| *s == t.subject)
+            && self.predicate.as_ref().is_none_or(|p| *p == t.predicate)
+            && self.object.as_ref().is_none_or(|o| *o == t.object)
     }
 
     /// Number of bound positions (used by the query planner to order joins).

@@ -7,11 +7,10 @@
 //! in one place and are serializable for experiment records.
 
 use crate::clock::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// A single storage channel: fixed per-operation latency plus streaming
 /// bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyBandwidth {
     /// Fixed cost per operation, nanoseconds.
     pub latency_ns: u64,

@@ -81,6 +81,11 @@ impl DetRng {
         self.inner.gen::<f64>()
     }
 
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
     /// Fill `buf` with pseudo-random bytes.
     pub fn fill(&mut self, buf: &mut [u8]) {
         self.inner.fill(buf);
@@ -139,6 +144,15 @@ mod tests {
             let x = r.f64();
             assert!((0.0..1.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn chance_edges_and_rough_rate() {
+        let mut r = DetRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        let hits = (0..1000).filter(|_| r.chance(0.25)).count();
+        assert!((150..350).contains(&hits), "p=0.25 hit rate off: {hits}");
     }
 
     #[test]

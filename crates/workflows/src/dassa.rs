@@ -124,8 +124,8 @@ fn generate_inputs(fs: &Arc<provio_hpcfs::FileSystem>, p: &DassaParams) {
 }
 
 /// One process slot: session + HDF5 handle, tracked per `mode`.
-fn process_for<'c>(
-    cluster: &'c Cluster,
+fn process_for(
+    cluster: &Cluster,
     p: &DassaParams,
     prov_dir: &str,
     pid: u32,

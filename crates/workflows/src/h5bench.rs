@@ -89,8 +89,8 @@ fn step_group(step: u32) -> String {
     format!("Timestep_{step}")
 }
 
-fn rank_process<'c>(
-    cluster: &'c Cluster,
+fn rank_process(
+    cluster: &Cluster,
     p: &H5benchParams,
     prov_dir: &str,
     rank: u32,

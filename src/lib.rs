@@ -68,10 +68,12 @@ pub mod prelude {
     pub use provio::engine::{to_dot, IoStats};
     pub use provio::{
         merge_directory, ProvIoApi, ProvIoConfig, ProvIoVol, ProvQueryEngine, ProvenanceStore,
-        SerializationPolicy, TrackerRegistry,
+        RetryPolicy, SerializationPolicy, TrackerRegistry,
     };
     pub use provio_hdf5::{Data, Dataspace, Datatype, Hyperslab, H5};
-    pub use provio_hpcfs::{FileSystem, FsSession, LustreConfig, OpenFlags};
+    pub use provio_hpcfs::{
+        FaultOp, FaultPlan, FaultRule, FileSystem, FsSession, LustreConfig, OpenFlags,
+    };
     pub use provio_model::{
         ActivityClass, AgentClass, ClassSelector, EntityClass, ExtensibleClass, Relation,
     };

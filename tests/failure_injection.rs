@@ -2,6 +2,8 @@
 //! corrupt workflow results, and never lose more than the affected
 //! process's sub-graph.
 
+use prov_io::core::RdfFormat;
+use prov_io::hpcfs::FsError;
 use prov_io::prelude::*;
 use provio_simrt::SimTime;
 use std::sync::Arc;
@@ -117,6 +119,197 @@ fn store_on_full_directory_path_conflicts_are_survivable() {
     assert!(summaries[0].1.events > 0);
     assert_eq!(summaries[0].1.store_bytes, 0, "store could not be written");
     assert!(cluster.fs.exists("/work.h5"), "workflow output unaffected");
+}
+
+#[test]
+fn transient_store_failures_are_retried_to_full_provenance() {
+    // Acceptance (a): transient write failures are retried and the full
+    // provenance graph still lands on disk.
+    let cluster = Cluster::new();
+    let plan = FaultPlan::new(21);
+    plan.add_rule(
+        FaultRule::fail(FaultOp::WriteAt, FsError::Io)
+            .on_path("prov_p1.ttl.tmp")
+            .times(2),
+    );
+    cluster.fs.install_faults(Arc::clone(&plan));
+    let cfg = ProvIoConfig::default()
+        .with_retry(RetryPolicy {
+            max_attempts: 3,
+            backoff_ns: 1_000,
+        })
+        .shared();
+    let (_s, h5) = cluster.process(1, "alice", "prog", VirtualClock::new(), Some(&cfg));
+    let f = h5.create_file("/retry.h5").unwrap();
+    h5.close_file(f).unwrap();
+    let summaries = cluster.registry.finish_all();
+    assert_eq!(plan.injected(), 2, "both transient failures were hit");
+    assert!(summaries[0].1.store_bytes > 0, "third attempt committed");
+    assert!(!summaries[0].1.degraded);
+    assert_eq!(summaries[0].1.last_error.as_deref(), Some("EIO"));
+    let (graph, report) = merge_directory(&cluster.fs, "/provio");
+    assert!(report.corrupt.is_empty());
+    assert_eq!(report.salvaged_triples, 0, "nothing needed salvaging");
+    let engine = ProvQueryEngine::new(graph);
+    assert!(engine.entity_by_label("/retry.h5").is_some(), "full provenance");
+}
+
+#[test]
+fn permanent_store_failure_surfaces_degraded_state() {
+    // Acceptance (b): exhausted retries flip the store to degraded with a
+    // concrete last_error — a zero byte count is never silent.
+    let cluster = Cluster::new();
+    let plan = FaultPlan::new(22);
+    plan.add_rule(FaultRule::fail(FaultOp::WriteAt, FsError::NoSpace).on_path("prov_p2.ttl.tmp"));
+    cluster.fs.install_faults(plan);
+    let (_s, h5) = tracked_process(&cluster, 2);
+    let f = h5.create_file("/doomed.h5").unwrap();
+    h5.close_file(f).unwrap();
+    let summaries = cluster.registry.finish_all();
+    let s = &summaries[0].1;
+    assert_eq!(s.store_bytes, 0);
+    assert!(s.degraded, "zero stored bytes comes with the reason attached");
+    assert_eq!(s.last_error.as_deref(), Some("ENOSPC"));
+    assert!(s.dropped_flushes >= 1);
+    assert!(cluster.fs.exists("/doomed.h5"), "workflow output unaffected");
+}
+
+#[test]
+fn crash_between_tmp_write_and_rename_preserves_previous_commit() {
+    // Acceptance (c): a crash after serializing the tmp file but before
+    // the atomic rename leaves the previously committed sub-graph intact —
+    // the merge never reads a torn committed file.
+    let cluster = Cluster::new();
+    let cfg = ProvIoConfig::default()
+        .with_policy(SerializationPolicy::EveryRecords(1))
+        .synchronous()
+        .shared();
+    let (_s, h5) = cluster.process(3, "alice", "prog", VirtualClock::new(), Some(&cfg));
+    let f = h5.create_file("/early.h5").unwrap();
+    h5.close_file(f).unwrap();
+    assert!(
+        cluster.fs.exists("/provio/prov_p3.ttl"),
+        "periodic flush committed an early snapshot"
+    );
+    let plan = FaultPlan::new(23);
+    plan.add_rule(FaultRule::crash(FaultOp::Rename).on_path("prov_p3.ttl.tmp"));
+    cluster.fs.install_faults(plan);
+    let f2 = h5.create_file("/late.h5").unwrap();
+    h5.close_file(f2).unwrap();
+    let summaries = cluster.registry.finish_all();
+    assert!(summaries[0].1.degraded);
+    assert_eq!(summaries[0].1.last_error.as_deref(), Some("ESIMCRASH"));
+
+    let (graph, report) = merge_directory(&cluster.fs, "/provio");
+    assert!(report.corrupt.is_empty(), "no torn committed file, ever");
+    assert_eq!(report.salvaged_triples, 0);
+    assert_eq!(report.files, 1, "stale tmp shadowed by the commit");
+    let engine = ProvQueryEngine::new(graph);
+    assert!(
+        engine.entity_by_label("/early.h5").is_some(),
+        "previous commit readable in full"
+    );
+}
+
+#[test]
+fn torn_tmp_prefix_is_salvaged_by_merge() {
+    // Acceptance (d): a crash that tears the tmp file mid-write still
+    // yields the valid prefix at merge time, accounted in the report.
+    let cluster = Cluster::new();
+    let cfg = ProvIoConfig::default()
+        .with_format(RdfFormat::NTriples)
+        .shared();
+    let plan = FaultPlan::new(24);
+    plan.add_rule(
+        FaultRule::crash(FaultOp::WriteAt)
+            .on_path("prov_p4.nt.tmp")
+            .torn(400),
+    );
+    cluster.fs.install_faults(plan);
+    let (_s, h5) = cluster.process(4, "alice", "prog", VirtualClock::new(), Some(&cfg));
+    let f = h5.create_file("/torn.h5").unwrap();
+    h5.close_file(f).unwrap();
+    let summaries = cluster.registry.finish_all();
+    assert_eq!(summaries[0].1.store_bytes, 0);
+    assert!(summaries[0].1.degraded);
+
+    let (graph, report) = merge_directory(&cluster.fs, "/provio");
+    assert_eq!(
+        report.recovered,
+        vec!["/provio/prov_p4.nt.tmp".to_string()],
+        "orphan tmp adopted"
+    );
+    assert!(report.salvaged_triples > 0, "valid prefix recovered");
+    assert!(!graph.is_empty());
+}
+
+#[test]
+fn fault_sweep_merge_always_recovers_committed_subgraphs() {
+    // FaultPlan sweep across crash points and torn-write lengths: whatever
+    // happens to rank 1, the merge recovers every committed sub-graph in
+    // full, salvages what it can of the torn one, and never reports a
+    // committed file corrupt.
+    let ops = [
+        FaultOp::CreateFile,
+        FaultOp::WriteAt,
+        FaultOp::TruncateIno,
+        FaultOp::Rename,
+    ];
+    for (i, &op) in ops.iter().enumerate() {
+        for &keep in &[0u64, 1, 80, 400, 4096] {
+            let ctx = format!("op={op:?} keep={keep}");
+            let cluster = Cluster::new();
+            let cfg = ProvIoConfig::default()
+                .with_format(RdfFormat::NTriples)
+                .shared();
+            for pid in [0u32, 1, 2] {
+                let (_s, h5) =
+                    cluster.process(pid, "alice", "prog", VirtualClock::new(), Some(&cfg));
+                let f = h5.create_file(&format!("/rank{pid}.h5")).unwrap();
+                h5.close_file(f).unwrap();
+            }
+            // Rank 1 dies mid-serialization; ranks 0 and 2 commit cleanly.
+            let plan = FaultPlan::new(1000 + i as u64);
+            plan.add_rule(FaultRule::crash(op).on_path("prov_p1.nt").torn(keep));
+            cluster.fs.install_faults(plan);
+            let summaries = cluster.registry.finish_all();
+            let crashed = &summaries.iter().find(|(p, _)| *p == 1).unwrap().1;
+            assert_eq!(crashed.store_bytes, 0, "{ctx}");
+            assert!(crashed.degraded, "{ctx}");
+            assert_eq!(crashed.last_error.as_deref(), Some("ESIMCRASH"), "{ctx}");
+            cluster.fs.clear_faults(); // the merge runs on a healthy reader
+
+            let (graph, report) = merge_directory(&cluster.fs, "/provio");
+            let engine = ProvQueryEngine::new(graph);
+            for pid in [0u32, 2] {
+                assert!(
+                    engine.entity_by_label(&format!("/rank{pid}.h5")).is_some(),
+                    "{ctx}: committed sub-graph of rank {pid} fully recovered"
+                );
+            }
+            // A torn file can only ever be the crashed rank's tmp; merge
+            // must never find a committed file unreadable.
+            for c in &report.corrupt {
+                assert!(c.ends_with(".tmp"), "{ctx}: committed file torn: {c}");
+            }
+            if op == FaultOp::WriteAt && keep >= 400 {
+                // A mid-file tear salvages a prefix; a tear past the end
+                // of the serialization leaves a complete, adoptable tmp.
+                assert!(
+                    report.salvaged_triples > 0
+                        || engine.entity_by_label("/rank1.h5").is_some(),
+                    "{ctx}: torn prefix long enough to salvage"
+                );
+            }
+            if op == FaultOp::Rename {
+                // tmp was fully serialized; adoption recovers rank 1 whole.
+                assert!(
+                    engine.entity_by_label("/rank1.h5").is_some(),
+                    "{ctx}: complete orphan tmp adopted"
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,549 @@
+#![allow(clippy::all)]
+//! Minimal offline substitute for the `proptest` crate.
+//!
+//! Implements the strategy combinators and macros this workspace uses:
+//! ranges, regex-subset string patterns, tuples, `Just`, `prop_oneof!`,
+//! `prop_map`/`prop_flat_map`, `collection::vec`, `any::<T>()` and
+//! `sample::Index`. Cases are generated from a seed derived from the test
+//! name, so failures reproduce run-to-run. There is no shrinking: a failing
+//! case panics with the assertion message directly.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Deterministic per-test RNG (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded from the test name and case index only, so every run of a
+    /// given binary explores the same inputs.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut rng = TestRng {
+            state: h ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        };
+        // Warm up so nearby seeds decorrelate.
+        rng.next_u64();
+        rng.next_u64();
+        rng
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start + rng.below(span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_range_inclusive_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as u128 - *self.start() as u128 + 1) as u64;
+                if span == 0 {
+                    // Full-width inclusive range (e.g. 0..=u64::MAX).
+                    return rng.next_u64() as $ty;
+                }
+                self.start() + rng.below(span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_range_inclusive_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.below(span) as i64)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// `&str` strategies: a regex subset — sequences of literal chars or `[...]`
+/// classes (ranges, `\n`/`\t`/`\r` escapes), each with an optional `{n}` or
+/// `{m,n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        gen_pattern(self, rng)
+    }
+}
+
+fn class_char(chars: &[char], i: &mut usize) -> char {
+    let c = chars[*i];
+    *i += 1;
+    if c != '\\' {
+        return c;
+    }
+    let esc = chars[*i];
+    *i += 1;
+    match esc {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn gen_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = String::new();
+    while i < chars.len() {
+        // Atom: a character class or a single (possibly escaped) literal.
+        let mut items: Vec<(char, char)> = Vec::new();
+        if chars[i] == '[' {
+            i += 1;
+            while i < chars.len() && chars[i] != ']' {
+                let lo = class_char(&chars, &mut i);
+                if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                    i += 1;
+                    let hi = class_char(&chars, &mut i);
+                    items.push((lo, hi));
+                } else {
+                    items.push((lo, lo));
+                }
+            }
+            assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+            i += 1;
+        } else {
+            let c = class_char(&chars, &mut i);
+            items.push((c, c));
+        }
+        // Repetition: {n} or {m,n}; default exactly once.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            i += 1;
+            let read_num = |i: &mut usize| {
+                let mut n = 0usize;
+                while chars[*i].is_ascii_digit() {
+                    n = n * 10 + (chars[*i] as usize - '0' as usize);
+                    *i += 1;
+                }
+                n
+            };
+            let m = read_num(&mut i);
+            let n = if chars[i] == ',' {
+                i += 1;
+                read_num(&mut i)
+            } else {
+                m
+            };
+            assert_eq!(chars[i], '}', "malformed repetition in {pattern:?}");
+            i += 1;
+            (m, n)
+        } else {
+            (1, 1)
+        };
+        let count = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..count {
+            let (lo, hi) = items[rng.below(items.len() as u64) as usize];
+            let span = hi as u32 - lo as u32 + 1;
+            let c = char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap_or(lo);
+            out.push(c);
+        }
+    }
+    out
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Weighted choice among same-valued strategies; built by `prop_oneof!`.
+pub struct OneOf<T> {
+    arms: Vec<(u32, Rc<dyn Fn(&mut TestRng) -> T>)>,
+}
+
+impl<T> OneOf<T> {
+    pub fn empty() -> Self {
+        OneOf { arms: Vec::new() }
+    }
+
+    pub fn push<S>(&mut self, weight: u32, strategy: S)
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        self.arms
+            .push((weight, Rc::new(move |rng| strategy.gen_value(rng))));
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        let mut pick = rng.below(total);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weight walk always terminates")
+    }
+}
+
+/// Types with a canonical strategy, for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection whose size is only known at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` of `size.start..size.end` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Per-invocation knobs; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// Namespace alias so `prop::sample::Index` resolves, as in real proptest.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $(let $pat = $crate::Strategy::gen_value(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $item:expr),+ $(,)?) => {{
+        let mut __oneof = $crate::OneOf::empty();
+        $(__oneof.push($weight as u32, $item);)+
+        __oneof
+    }};
+    ($($item:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $item),+]
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_strategy_matches_shape() {
+        let mut rng = crate::TestRng::for_case("pattern", 0);
+        for _ in 0..200 {
+            let s = crate::Strategy::gen_value(&"[a-z][a-z0-9_./-]{0,20}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 21);
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase(), "bad first char in {s:?}");
+            for c in s.chars().skip(1) {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || "_./-".contains(c),
+                    "bad char {c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn escapes_and_ranges_in_classes() {
+        let mut rng = crate::TestRng::for_case("escapes", 0);
+        for _ in 0..200 {
+            let s = crate::Strategy::gen_value(&"[ -~\\n\\t]{0,24}", &mut rng);
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c) || c == '\n' || c == '\t');
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_respects_arms() {
+        let mut rng = crate::TestRng::for_case("oneof", 0);
+        let strat = prop_oneof![3 => 0u64..10, 1 => 100u64..110];
+        let mut low = 0;
+        let mut high = 0;
+        for _ in 0..400 {
+            let v = crate::Strategy::gen_value(&strat, &mut rng);
+            if v < 10 {
+                low += 1;
+            } else {
+                assert!((100..110).contains(&v));
+                high += 1;
+            }
+        }
+        assert!(low > high, "weighted arm should dominate");
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let mut a = crate::TestRng::for_case("same", 3);
+        let mut b = crate::TestRng::for_case("same", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_case("same", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_round_trip(v in crate::collection::vec(any::<u8>(), 0..8), (a, b) in (0u32..5, 5u32..9)) {
+            prop_assert!(v.len() < 8);
+            prop_assert!(a < b, "a={} b={}", a, b);
+            prop_assert_ne!(a, b);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

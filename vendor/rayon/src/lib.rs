@@ -1,0 +1,195 @@
+#![allow(clippy::all)]
+//! Minimal offline substitute for the `rayon` crate.
+//!
+//! Supports the `par_iter().enumerate().map(..).collect()` chain this
+//! workspace uses for BSP supersteps. Work is split into contiguous chunks
+//! across `available_parallelism` scoped threads; results come back in input
+//! order, and worker panics are propagated to the caller like rayon does.
+
+use std::any::Any;
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+fn thread_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items)
+        .max(1)
+}
+
+/// Order-preserving parallel evaluation of `f` over `0..n`.
+fn run_indexed<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = thread_count(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    let mut panic: Option<Box<dyn Any + Send>> = None;
+    let mut parts: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let start = t * chunk;
+                    let end = ((t + 1) * chunk).min(n);
+                    (start..end).map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => parts.push(part),
+                Err(payload) => panic = Some(payload),
+            }
+        }
+    });
+    if let Some(payload) = panic {
+        std::panic::resume_unwind(payload);
+    }
+    parts.into_iter().flatten().collect()
+}
+
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter;
+
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate { slice: self.slice }
+    }
+
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+pub struct ParEnumerate<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParEnumerate<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParEnumerateMap<'a, T, F>
+    where
+        F: Fn((usize, &'a T)) -> R + Sync,
+        R: Send,
+    {
+        ParEnumerateMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F, R> ParMap<'a, T, F>
+where
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = &self.f;
+        run_indexed(self.slice.len(), |i| f(&self.slice[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+pub struct ParEnumerateMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F, R> ParEnumerateMap<'a, T, F>
+where
+    F: Fn((usize, &'a T)) -> R + Sync,
+    R: Send,
+{
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = &self.f;
+        run_indexed(self.slice.len(), |i| f((i, &self.slice[i])))
+            .into_iter()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn enumerate_map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().enumerate().map(|(i, v)| i as u64 + v).collect();
+        let want: Vec<u64> = (0..1000).map(|v| v * 2).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn map_without_enumerate() {
+        let input = vec![1u32, 2, 3];
+        let out: Vec<u32> = input.par_iter().map(|v| v * 10).collect();
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let input: Vec<u8> = Vec::new();
+        let out: Vec<u8> = input.par_iter().map(|v| *v).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let input: Vec<u32> = (0..64).collect();
+        let _: Vec<u32> = input
+            .par_iter()
+            .map(|v| {
+                if *v == 63 {
+                    panic!("worker boom");
+                }
+                *v
+            })
+            .collect();
+    }
+}
