@@ -1,0 +1,236 @@
+//! Provenance-store benchmarks: push / flush / finish / merge at 10k, 100k
+//! and (opt-in) 1M triples, plus the headline before/after comparison of
+//! the flush protocol — legacy full-rewrite vs snapshot + delta segments on
+//! a flush-every-1k workload — written to `BENCH_store.json` at the repo
+//! root.
+//!
+//! Scale selection:
+//! * `PROVIO_BENCH_QUICK=1` — 10k only, no JSON output (the CI smoke step);
+//! * default                — 10k and 100k, JSON written;
+//! * `PROVIO_BENCH_FULL=1`  — adds 1M (delta-only where the legacy path
+//!   would take minutes per sample).
+
+use criterion::{black_box, criterion_group, Criterion};
+use provio::{merge_directory, merge_directory_sequential, ProvenanceStore, RdfFormat};
+use provio_hpcfs::{FileSystem, LustreConfig};
+use provio_rdf::{Iri, Subject, Term, Triple};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The acceptance workload flushes after every 1k pushed triples.
+const FLUSH_INTERVAL: usize = 1_000;
+/// Ranks contributing per-process sub-graphs to the merge benchmark.
+const MERGE_RANKS: usize = 8;
+
+fn quick() -> bool {
+    std::env::var_os("PROVIO_BENCH_QUICK").is_some()
+}
+
+fn scales() -> Vec<usize> {
+    if quick() {
+        vec![10_000]
+    } else if std::env::var_os("PROVIO_BENCH_FULL").is_some() {
+        vec![10_000, 100_000, 1_000_000]
+    } else {
+        vec![10_000, 100_000]
+    }
+}
+
+fn triples(range: std::ops::Range<usize>) -> Vec<Triple> {
+    range
+        .map(|i| {
+            Triple::new(
+                Subject::iri(format!("urn:provio:act/H5Dwrite-p0-{i}")),
+                Iri::new("https://github.com/hpc-io/prov-io#wasWrittenBy"),
+                Term::iri(format!("urn:provio:obj/dataset/d{}", i % 64)),
+            )
+        })
+        .collect()
+}
+
+/// A sync store; `delta` toggles between the segment protocol (compaction
+/// every 64 segments, the default) and the legacy full rewrite.
+fn store(fs: &Arc<FileSystem>, path: &str, delta: bool) -> ProvenanceStore {
+    ProvenanceStore::new(Arc::clone(fs), path, RdfFormat::NTriples, false)
+        .with_delta(delta, if delta { 64 } else { 0 })
+}
+
+fn bench_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_push");
+    for n in scales() {
+        let batch = triples(0..n);
+        group.bench_function(format!("{n}"), |b| {
+            b.iter(|| {
+                let fs = FileSystem::new(LustreConfig::default());
+                let st = store(&fs, "/prov/rank0.nt", true);
+                st.push(batch.clone(), None);
+                black_box(st.triples_pushed())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The full flush-every-1k workload, timed end to end (push + flushes +
+/// finish). This is the scenario the delta protocol exists for.
+fn run_flush_workload(delta: bool, n: usize) -> Duration {
+    let fs = FileSystem::new(LustreConfig::default());
+    let st = store(&fs, "/prov/rank0.nt", delta);
+    let data = triples(0..n);
+    let start = Instant::now();
+    for chunk in data.chunks(FLUSH_INTERVAL) {
+        st.push(chunk.to_vec(), None);
+        st.flush(None);
+    }
+    st.finish(None);
+    start.elapsed()
+}
+
+fn bench_flush(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_flush_every_1k");
+    group.sample_size(2);
+    for n in scales() {
+        group.bench_function(format!("delta/{n}"), |b| {
+            b.iter(|| black_box(run_flush_workload(true, n)));
+        });
+        // The legacy path rewrites the whole file every flush; at 1M that
+        // is minutes per sample, so cap it at 100k.
+        if n <= 100_000 {
+            group.bench_function(format!("legacy/{n}"), |b| {
+                b.iter(|| black_box(run_flush_workload(false, n)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_finish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_push_finish");
+    group.sample_size(3);
+    for n in scales() {
+        let batch = triples(0..n);
+        group.bench_function(format!("{n}"), |b| {
+            b.iter(|| {
+                let fs = FileSystem::new(LustreConfig::default());
+                let st = store(&fs, "/prov/rank0.nt", true);
+                st.push(batch.clone(), None);
+                black_box(st.finish(None))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A merge directory of `MERGE_RANKS` per-process stores, each left
+/// mid-run so the directory holds snapshots *and* live delta segments.
+fn build_merge_dir(n: usize) -> Arc<FileSystem> {
+    let fs = FileSystem::new(LustreConfig::default());
+    let per = (n / MERGE_RANKS).max(1);
+    for r in 0..MERGE_RANKS {
+        let st = store(&fs, &format!("/prov/rank{r}.nt"), true);
+        let data = triples(r * per..(r + 1) * per);
+        for chunk in data.chunks((per / 4).max(1)) {
+            st.push(chunk.to_vec(), None);
+            st.flush(None);
+        }
+        // No finish: segments stay behind, as after a crashed run.
+    }
+    fs
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_merge");
+    group.sample_size(3);
+    for n in scales() {
+        let fs = build_merge_dir(n);
+        group.bench_function(format!("parallel/{n}"), |b| {
+            b.iter(|| black_box(merge_directory(&fs, "/prov").0.len()));
+        });
+        group.bench_function(format!("sequential/{n}"), |b| {
+            b.iter(|| black_box(merge_directory_sequential(&fs, "/prov").0.len()));
+        });
+    }
+    group.finish();
+}
+
+/// Before/after record for the acceptance scenario. Runs each side once
+/// warm + once timed and hand-formats the JSON (the vendored serde_json
+/// has no `Serialize`).
+fn headline_comparison() {
+    if quick() {
+        return;
+    }
+    let mut rows = String::new();
+    for n in scales() {
+        if n > 100_000 {
+            continue; // legacy side is impractical past 100k
+        }
+        // One warm pass each to fault in code paths, then the timed run.
+        run_flush_workload(false, n.min(10_000));
+        run_flush_workload(true, n.min(10_000));
+        let legacy = run_flush_workload(false, n);
+        let delta = run_flush_workload(true, n);
+        let legacy_ms = legacy.as_secs_f64() * 1e3;
+        let delta_ms = delta.as_secs_f64() * 1e3;
+        let speedup = legacy_ms / delta_ms.max(1e-9);
+        println!(
+            "store_headline/{n}: legacy {legacy_ms:.1} ms, delta {delta_ms:.1} ms, {speedup:.1}x"
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"triples\": {n}, \"flush_every\": {FLUSH_INTERVAL}, \
+             \"legacy_full_rewrite_ms\": {legacy_ms:.2}, \
+             \"delta_segments_ms\": {delta_ms:.2}, \"speedup\": {speedup:.2}}}"
+        ));
+    }
+    // Merge before/after: sequential vs rayon-parallel over a mid-run
+    // directory (snapshots + live segments). On a single-core host the
+    // vendored rayon falls back to sequential, so record the core count.
+    let merge_n = if scales().contains(&100_000) { 100_000 } else { 10_000 };
+    let fs = build_merge_dir(merge_n);
+    merge_directory_sequential(&fs, "/prov"); // warm
+    let t0 = Instant::now();
+    let seq_len = merge_directory_sequential(&fs, "/prov").0.len();
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let par_len = merge_directory(&fs, "/prov").0.len();
+    let par_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(seq_len, par_len, "parallel merge diverged from sequential");
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("store_merge_headline/{merge_n}: sequential {seq_ms:.1} ms, parallel {par_ms:.1} ms ({cores} cores)");
+    let json = format!(
+        "{{\n  \"bench\": \"provenance store flush protocol\",\n  \
+         \"workload\": \"N triples pushed in batches of {FLUSH_INTERVAL}, flush after \
+         every batch, finish at end (sync store, N-Triples)\",\n  \
+         \"before\": \"full graph rewrite on every flush\",\n  \
+         \"after\": \"snapshot + append-only delta segments, compaction every 64\",\n  \
+         \"scenarios\": [\n{rows}\n  ],\n  \
+         \"merge\": {{\"triples\": {merge_n}, \"ranks\": {MERGE_RANKS}, \
+         \"sequential_ms\": {seq_ms:.2}, \"parallel_ms\": {par_ms:.2}, \
+         \"host_cores\": {cores}, \
+         \"note\": \"vendored rayon splits across available_parallelism threads; on a 1-core host the parallel path degenerates to sequential\"}}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    std::fs::write(path, json).expect("write BENCH_store.json");
+    println!("wrote {path}");
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_push, bench_flush, bench_finish, bench_merge
+}
+
+fn main() {
+    benches();
+    headline_comparison();
+}

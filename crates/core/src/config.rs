@@ -92,6 +92,14 @@ pub struct ProvIoConfig {
     pub record_latency_ns: u64,
     /// Retry/backoff behavior of the durable store writer.
     pub retry: RetryPolicy,
+    /// Persist periodic flushes as append-only delta segments next to the
+    /// committed snapshot instead of rewriting the whole sub-graph file
+    /// (`[store] delta_segments`). `false` is the legacy full-rewrite
+    /// ablation.
+    pub delta_segments: bool,
+    /// Fold delta segments into a fresh snapshot every this many appends
+    /// (`[store] compact_every`; 0 = compact only on finish).
+    pub compact_every: u32,
 }
 
 /// Default Redland-calibrated per-record latency (see
@@ -109,6 +117,8 @@ impl Default for ProvIoConfig {
             workflow_type: None,
             record_latency_ns: DEFAULT_RECORD_LATENCY_NS,
             retry: RetryPolicy::default(),
+            delta_segments: true,
+            compact_every: crate::store::DEFAULT_COMPACT_EVERY,
         }
     }
 }
@@ -156,6 +166,19 @@ impl ProvIoConfig {
         self
     }
 
+    /// Enable/disable delta-segment flushing (off = legacy full rewrite).
+    pub fn with_delta_segments(mut self, enabled: bool) -> Self {
+        self.delta_segments = enabled;
+        self
+    }
+
+    /// Fold delta segments into a snapshot every `n` appends (0 = only on
+    /// finish).
+    pub fn with_compact_every(mut self, n: u32) -> Self {
+        self.compact_every = n;
+        self
+    }
+
     pub fn shared(self) -> Arc<Self> {
         Arc::new(self)
     }
@@ -164,8 +187,9 @@ impl ProvIoConfig {
     ///
     /// Recognized keys: `store_dir`, `policy` (`at_end` | `every:<n>`),
     /// `format` (`turtle` | `ntriples`), `async` (`true`/`false`),
-    /// `workflow_type`, `preset` (one of the Table 3 presets), and
-    /// `track`/`untrack` with a comma-separated item list
+    /// `delta_segments` (`true`/`false`), `compact_every` (`<n>`, 0 = only
+    /// on finish), `workflow_type`, `preset` (one of the Table 3 presets),
+    /// and `track`/`untrack` with a comma-separated item list
     /// (`file,dataset,attribute,duration,…`).
     pub fn from_ini(text: &str) -> Result<Self, String> {
         let mut cfg = ProvIoConfig::default();
@@ -192,6 +216,16 @@ impl ProvIoConfig {
                 }
                 "retry_backoff_ns" => {
                     cfg.retry.backoff_ns = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad integer", lineno + 1))?
+                }
+                "delta_segments" => {
+                    cfg.delta_segments = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad bool", lineno + 1))?
+                }
+                "compact_every" => {
+                    cfg.compact_every = value
                         .parse()
                         .map_err(|_| format!("line {}: bad integer", lineno + 1))?
                 }
@@ -353,6 +387,26 @@ mod tests {
         assert_eq!(c.retry.backoff_for(3), 4000);
         // Saturates instead of overflowing for absurd failure counts.
         assert!(RetryPolicy { max_attempts: 2, backoff_ns: u64::MAX }.backoff_for(40) > 0);
+    }
+
+    #[test]
+    fn delta_knobs_default_and_ini() {
+        let c = ProvIoConfig::default();
+        assert!(c.delta_segments);
+        assert_eq!(c.compact_every, crate::store::DEFAULT_COMPACT_EVERY);
+        let c = ProvIoConfig::from_ini(
+            "[store]\ndelta_segments = false\ncompact_every = 7\n",
+        )
+        .unwrap();
+        assert!(!c.delta_segments);
+        assert_eq!(c.compact_every, 7);
+        assert!(ProvIoConfig::from_ini("delta_segments = maybe").is_err());
+        assert!(ProvIoConfig::from_ini("compact_every = lots").is_err());
+        let c = ProvIoConfig::default()
+            .with_delta_segments(false)
+            .with_compact_every(3);
+        assert!(!c.delta_segments);
+        assert_eq!(c.compact_every, 3);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use api::ProvIoApi;
 pub use config::{ProvIoConfig, RdfFormat, RetryPolicy, SerializationPolicy};
 pub use connector::ProvIoVol;
 pub use engine::ProvQueryEngine;
-pub use merge::merge_directory;
+pub use merge::{merge_directory, merge_directory_sequential};
 pub use store::ProvenanceStore;
 pub use tracker::{IoEvent, ObjectDesc, ProvTracker, TrackerRegistry};
 pub use wrapper::PosixWrapper;

@@ -8,6 +8,7 @@
 
 use provio_hpcfs::FileSystem;
 use provio_rdf::{ntriples, turtle, Graph};
+use rayon::prelude::*;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -101,9 +102,60 @@ fn salvage(format: Format, text: &str) -> Graph {
     }
 }
 
+/// What one sub-graph file contributed, computed independently per file so
+/// the read/parse/salvage work parallelizes.
+enum Outcome {
+    /// Shadowed tmp or unreadable path — contributes nothing, not an error.
+    Skipped,
+    /// Nothing recoverable at all.
+    Corrupt,
+    /// Fully parsed scratch graph.
+    Parsed { sub: Graph, adopted_tmp: bool },
+    /// Valid-prefix salvage of a torn file.
+    Salvaged { sub: Graph, adopted_tmp: bool },
+}
+
+/// Read and parse (or salvage) one file into a scratch graph. Pure function
+/// of the file: no shared mutable state, so files process in parallel.
+fn process_file(fs: &Arc<FileSystem>, path: &str, committed: &HashSet<&str>) -> Outcome {
+    let adopted_tmp = match path.strip_suffix(".tmp") {
+        Some(base) if committed.contains(base) => return Outcome::Skipped, // commit wins
+        Some(_) => true,
+        None => false,
+    };
+    let Ok(ino) = fs.lookup(path) else {
+        return Outcome::Skipped;
+    };
+    let Ok(md) = fs.stat(path) else {
+        return Outcome::Skipped;
+    };
+    let Ok(bytes) = fs.read_at(ino, 0, md.size) else {
+        return Outcome::Skipped;
+    };
+    let Ok(text) = String::from_utf8(bytes.to_vec()) else {
+        return Outcome::Corrupt;
+    };
+    let format = format_of(path.strip_suffix(".tmp").unwrap_or(path));
+    if let Some(sub) = parse_full(format, &text) {
+        return Outcome::Parsed { sub, adopted_tmp };
+    }
+    let sub = salvage(format, &text);
+    if sub.is_empty() {
+        return Outcome::Corrupt;
+    }
+    Outcome::Salvaged { sub, adopted_tmp }
+}
+
 /// Parse and merge every sub-graph file under `dir` (recursively) into one
-/// graph. `.ttl` files parse as Turtle, `.nt` as N-Triples; unknown
+/// graph. `.ttl` files parse as Turtle, `.nt` as N-Triples (this includes
+/// the store's `.dNNNNNN.nt` delta segments — a snapshot plus its segments
+/// merges back into the full sub-graph, duplicates collapsing); unknown
 /// extensions try both.
+///
+/// Files parse into scratch graphs on worker threads (I/O and parsing
+/// dominate merge time at rank scale), then fold into the final graph
+/// sequentially in directory order via the interner's bulk id-mapped merge
+/// — output is identical to [`merge_directory_sequential`].
 ///
 /// Crash recovery: a `<p>.tmp` left by the store's atomic-rename protocol
 /// is skipped when the committed `<p>` exists (it is a stale or torn
@@ -113,6 +165,20 @@ fn salvage(format: Format, text: &str) -> Graph {
 /// (N-Triples) or at statement boundaries (Turtle); only files yielding
 /// nothing at all are reported corrupt.
 pub fn merge_directory(fs: &Arc<FileSystem>, dir: &str) -> (Graph, MergeReport) {
+    merge_directory_impl(fs, dir, true)
+}
+
+/// Single-threaded reference implementation of [`merge_directory`], for
+/// ablation benchmarks and output-equivalence tests.
+pub fn merge_directory_sequential(fs: &Arc<FileSystem>, dir: &str) -> (Graph, MergeReport) {
+    merge_directory_impl(fs, dir, false)
+}
+
+fn merge_directory_impl(
+    fs: &Arc<FileSystem>,
+    dir: &str,
+    parallel: bool,
+) -> (Graph, MergeReport) {
     let mut graph = Graph::new();
     let mut report = MergeReport {
         files: 0,
@@ -126,46 +192,38 @@ pub fn merge_directory(fs: &Arc<FileSystem>, dir: &str) -> (Graph, MergeReport) 
         Err(_) => return (graph, report),
     };
     let committed: HashSet<&str> = files.iter().map(String::as_str).collect();
-    for path in &files {
-        let adopted_tmp = match path.strip_suffix(".tmp") {
-            Some(base) if committed.contains(base) => continue, // commit wins
-            Some(_) => true,
-            None => false,
-        };
-        let Ok(ino) = fs.lookup(path) else {
-            continue;
-        };
-        let Ok(md) = fs.stat(path) else { continue };
-        let Ok(bytes) = fs.read_at(ino, 0, md.size) else {
-            continue;
-        };
-        let Ok(text) = String::from_utf8(bytes.to_vec()) else {
-            report.corrupt.push(path.clone());
-            continue;
-        };
-        let format = format_of(path.strip_suffix(".tmp").unwrap_or(path));
-        if let Some(sub) = parse_full(format, &text) {
-            for t in sub.iter() {
-                graph.insert(&t);
+    let outcomes: Vec<Outcome> = if parallel {
+        files
+            .par_iter()
+            .map(|path| process_file(fs, path, &committed))
+            .collect()
+    } else {
+        files
+            .iter()
+            .map(|path| process_file(fs, path, &committed))
+            .collect()
+    };
+    // Deterministic sequential fold in directory order; the merge itself is
+    // the bulk id-mapped path (one intern per distinct term per file).
+    for (path, outcome) in files.iter().zip(outcomes) {
+        match outcome {
+            Outcome::Skipped => {}
+            Outcome::Corrupt => report.corrupt.push(path.clone()),
+            Outcome::Parsed { sub, adopted_tmp } => {
+                graph.merge(&sub);
+                report.files += 1;
+                if adopted_tmp {
+                    report.recovered.push(path.clone());
+                }
             }
-            report.files += 1;
-            if adopted_tmp {
-                report.recovered.push(path.clone());
+            Outcome::Salvaged { sub, adopted_tmp } => {
+                report.salvaged_triples += sub.len();
+                graph.merge(&sub);
+                report.files += 1;
+                if adopted_tmp {
+                    report.recovered.push(path.clone());
+                }
             }
-            continue;
-        }
-        let sub = salvage(format, &text);
-        if sub.is_empty() {
-            report.corrupt.push(path.clone());
-            continue;
-        }
-        report.salvaged_triples += sub.len();
-        for t in sub.iter() {
-            graph.insert(&t);
-        }
-        report.files += 1;
-        if adopted_tmp {
-            report.recovered.push(path.clone());
         }
     }
     report.triples = graph.len();
@@ -335,6 +393,63 @@ mod tests {
         let (g, report) = merge_directory(&fs, "/nowhere");
         assert!(g.is_empty());
         assert_eq!(report.files, 0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_merges_are_identical() {
+        let fs = FileSystem::new(LustreConfig::default());
+        // A messy directory: committed files, a shadowed tmp, an orphan
+        // tmp, a torn file, and a corrupt file.
+        for i in 0..20 {
+            write_file(
+                &fs,
+                &format!("/provio/prov_p{i}.nt"),
+                format!("<urn:s{i}> <urn:p> <urn:o{i}> .\n<urn:shared> <urn:p> <urn:o> .\n")
+                    .as_bytes(),
+            );
+        }
+        write_file(&fs, "/provio/prov_p0.nt.tmp", b"<urn:x> <urn:p> \"tor");
+        write_file(&fs, "/provio/orphan.nt.tmp", b"<urn:orphan> <urn:p> <urn:o> .\n");
+        write_file(&fs, "/provio/torn.nt", b"<urn:t> <urn:p> <urn:o> .\n<urn:u> <urn:p> \"x");
+        write_file(&fs, "/provio/bad.nt", b"%%% nothing valid %%%\n");
+        let (gp, rp) = merge_directory(&fs, "/provio");
+        let (gs, rs) = merge_directory_sequential(&fs, "/provio");
+        assert_eq!(
+            ntriples::serialize(&gp),
+            ntriples::serialize(&gs),
+            "identical triple set, byte for byte in canonical form"
+        );
+        assert_eq!(rp.files, rs.files);
+        assert_eq!(rp.triples, rs.triples);
+        assert_eq!(rp.corrupt, rs.corrupt);
+        assert_eq!(rp.recovered, rs.recovered);
+        assert_eq!(rp.salvaged_triples, rs.salvaged_triples);
+        assert_eq!(rp.recovered, vec!["/provio/orphan.nt.tmp".to_string()]);
+        assert_eq!(rp.corrupt, vec!["/provio/bad.nt".to_string()]);
+    }
+
+    #[test]
+    fn snapshot_plus_delta_segments_merge_to_full_subgraph() {
+        let fs = FileSystem::new(LustreConfig::default());
+        // What a periodically-flushing store leaves mid-run: a snapshot
+        // plus two uncompacted delta segments (overlap with the snapshot is
+        // deliberate — compaction may race a crash, duplicates must
+        // collapse).
+        write_file(
+            &fs,
+            "/provio/prov_p0.nt",
+            b"<urn:a> <urn:p> <urn:1> .\n<urn:a> <urn:p> <urn:2> .\n",
+        );
+        write_file(
+            &fs,
+            "/provio/prov_p0.nt.d000000.nt",
+            b"<urn:a> <urn:p> <urn:2> .\n<urn:a> <urn:p> <urn:3> .\n",
+        );
+        write_file(&fs, "/provio/prov_p0.nt.d000001.nt", b"<urn:a> <urn:p> <urn:4> .\n");
+        let (g, report) = merge_directory(&fs, "/provio");
+        assert_eq!(report.files, 3, "snapshot and both segments contribute");
+        assert_eq!(g.len(), 4, "duplicate triples collapse");
+        assert!(report.corrupt.is_empty());
     }
 
     #[test]

@@ -10,26 +10,63 @@
 //! path only pays for enqueueing. The synchronous mode exists as the
 //! ablation the paper's design argues against.
 //!
+//! # Incremental flushing: snapshot + delta segments
+//!
+//! Re-serializing the whole sub-graph on every periodic flush is O(n) per
+//! flush — O(n²) over a run — and the paper's tracking-overhead numbers
+//! (§6.2) hinge on the flush path staying off the workflow's critical
+//! path. The store therefore persists incrementally:
+//!
+//! * The first flush writes a full **snapshot** to the committed path in
+//!   the configured format (Turtle or N-Triples).
+//! * Every later flush serializes only the triples inserted since the last
+//!   persisted point — tracked by a *watermark* into the graph's
+//!   insertion-ordered id-triples — and appends them as a new **delta
+//!   segment** `<path>.dNNNNNN.nt` (always N-Triples: line-oriented, so a
+//!   torn segment salvages by prefix).
+//! * `finish` (and every `compact_every` delta appends) **compacts**:
+//!   writes a fresh full snapshot and unlinks the segments it folded in.
+//!
+//! Every file (snapshot or segment) is committed crash-consistently:
+//! serialized to `<file>.tmp`, then atomically renamed. A reader — the
+//! post-run merge — reads the snapshot plus all live segments; duplicate
+//! triples collapse on merge, so compaction racing a crash can only
+//! duplicate data, never lose it.
+//!
+//! # Off-lock serialization
+//!
+//! The graph lives under a *state* lock that `push` takes briefly; all file
+//! I/O serializes under a separate *io* lock. A flush holds the state lock
+//! only long enough to capture the delta id-range and `Arc`-clone the
+//! distinct terms behind it (or, for a snapshot, to clone the graph's
+//! interned structure — term payloads are shared `Arc<str>`s). Rendering
+//! and disk writes happen outside the state lock, so concurrent `push`
+//! calls never stall behind serialization.
+//!
 //! # Crash consistency
 //!
-//! A flush never writes the committed path in place. The sub-graph is
-//! serialized to `<path>.tmp`, then atomically renamed over `<path>` —
-//! so a torn write or mid-flush crash can only ever corrupt the tmp file,
-//! and a reader (the post-run merge) either sees the previous complete
-//! sub-graph or the new complete sub-graph, never a prefix. Transient
-//! errors (`EIO`, `ENOSPC`) are retried under a [`RetryPolicy`] with
-//! exponential backoff charged to the issuing rank's virtual clock;
+//! Transient errors (`EIO`, `ENOSPC`) are retried under a [`RetryPolicy`]
+//! with exponential backoff charged to the issuing rank's virtual clock;
 //! permanent or exhausted failures flip the store into a *degraded* state:
-//! the in-memory graph is kept, the dropped flush is counted, and the
-//! last error is surfaced through the tracker summary instead of being
-//! silently reported as zero stored bytes.
+//! the in-memory graph is kept, the watermark is rewound so the failed
+//! delta is retried by the next flush (same segment name — the atomic
+//! rename makes the retry idempotent), the dropped flush is counted, and
+//! the last error is surfaced through the tracker summary instead of being
+//! silently reported as zero stored bytes. A fired crash point kills the
+//! writer for good; whatever the crash tore is salvaged at merge time.
 
 use crate::config::{RdfFormat, RetryPolicy};
 use parking_lot::{Condvar, Mutex};
 use provio_hpcfs::{FileSystem, FsError};
-use provio_rdf::{ntriples, turtle, Graph, Namespaces, Triple};
+use provio_rdf::{ntriples, turtle, Graph, Namespaces, Term, TermId, Triple};
 use provio_simrt::{ChargeGuard, SimDuration, SimTime, VirtualClock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Default compaction threshold when none is configured (matches
+/// `ProvIoConfig::default().compact_every`).
+pub const DEFAULT_COMPACT_EVERY: u32 = 64;
 
 /// The shared background writer pool.
 mod pool {
@@ -100,12 +137,22 @@ impl InFlight {
     }
 }
 
-struct Writer {
+/// The in-memory sub-graph plus the serialization high-water mark: how many
+/// entries of the graph's insertion order are already durable (in the
+/// snapshot or a committed segment). `push` takes only this lock.
+struct GraphState {
+    graph: Graph,
+    watermark: usize,
+}
+
+/// Everything the flush path owns: paths, format, retry/degradation
+/// bookkeeping, and the delta-segment ledger. Holding this lock serializes
+/// flushes without blocking `push`.
+struct IoState {
     fs: Arc<FileSystem>,
     path: String,
     tmp_path: String,
     format: RdfFormat,
-    graph: Graph,
     retry: RetryPolicy,
     /// Last flush failed permanently; the in-memory graph is still intact.
     degraded: bool,
@@ -114,38 +161,51 @@ struct Writer {
     crashed: bool,
     dropped_flushes: u64,
     last_error: Option<FsError>,
+    /// Delta-segment protocol on (off = legacy full rewrite per flush).
+    delta: bool,
+    /// Fold segments into a fresh snapshot every this many delta appends
+    /// (0 = only on `finish`).
+    compact_every: u32,
+    /// Committed, not-yet-compacted segment paths, oldest first.
+    segments: Vec<String>,
+    /// Sequence number of the next segment. Only advanced on a successful
+    /// commit, so a failed append retries under the same name.
+    next_seg: u64,
+    deltas_since_snapshot: u32,
+    /// A full snapshot exists at the committed path.
+    snapshot_done: bool,
 }
 
-impl Writer {
-    /// One serialization attempt, crash-consistently: write everything to
-    /// the tmp path, then atomically rename it over the committed path.
-    fn try_commit(&self, bytes: &[u8]) -> Result<(), FsError> {
+fn seg_path(path: &str, seq: u64) -> String {
+    format!("{path}.d{seq:06}.nt")
+}
+
+impl IoState {
+    /// One crash-consistent commit attempt: write everything to `tmp`, then
+    /// atomically rename it over `dst`.
+    fn try_commit(&self, tmp: &str, dst: &str, bytes: &[u8]) -> Result<(), FsError> {
         let now = SimTime::ZERO; // store-internal write; mtime is irrelevant
-        let ino = self.fs.create_file(&self.tmp_path, false, "provio", now)?;
+        let ino = self.fs.create_file(tmp, false, "provio", now)?;
         self.fs.truncate_ino(ino, 0, now)?;
         self.fs.write_at(ino, 0, bytes, now)?;
-        self.fs.rename(&self.tmp_path, &self.path, now)
+        self.fs.rename(tmp, dst, now)
     }
 
-    /// Serialize the sub-graph durably. Returns committed bytes, or 0 when
-    /// the flush was dropped — in which case `degraded`/`last_error` say
-    /// why (never a silent zero).
-    fn write_out(&mut self, charge: Option<&VirtualClock>) -> u64 {
-        if self.crashed {
-            self.dropped_flushes += 1;
-            return 0;
-        }
-        let text = match self.format {
-            RdfFormat::Turtle => turtle::serialize(&self.graph, &Namespaces::standard()),
-            RdfFormat::NTriples => ntriples::serialize(&self.graph),
-        };
-        let bytes = text.as_bytes();
+    /// Commit with the retry/backoff policy, updating the degradation
+    /// bookkeeping. Returns `true` when `dst` is durable.
+    fn commit_with_retry(
+        &mut self,
+        tmp: &str,
+        dst: &str,
+        bytes: &[u8],
+        charge: Option<&VirtualClock>,
+    ) -> bool {
         let mut failures = 0u32;
         loop {
-            match self.try_commit(bytes) {
+            match self.try_commit(tmp, dst, bytes) {
                 Ok(()) => {
                     self.degraded = false;
-                    return bytes.len() as u64;
+                    return true;
                 }
                 Err(FsError::Crashed) => {
                     // The process died mid-flush: no retry, no cleanup.
@@ -154,7 +214,7 @@ impl Writer {
                     self.degraded = true;
                     self.last_error = Some(FsError::Crashed);
                     self.dropped_flushes += 1;
-                    return 0;
+                    return false;
                 }
                 Err(e) => {
                     failures += 1;
@@ -169,27 +229,141 @@ impl Writer {
                     }
                     self.degraded = true;
                     self.dropped_flushes += 1;
-                    return 0;
+                    return false;
                 }
             }
         }
     }
 }
 
+/// Shared core of a store: the graph under the state lock, the write path
+/// under the io lock. Lock order is always io → state; `push` takes only
+/// state, so it never waits on disk.
+struct Inner {
+    state: Mutex<GraphState>,
+    io: Mutex<IoState>,
+}
+
+impl Inner {
+    /// Serialize the whole graph and commit it over the snapshot path,
+    /// unlinking any delta segments the snapshot now supersedes. Returns
+    /// committed bytes, or 0 on a dropped flush.
+    fn snapshot(&self, io: &mut IoState, charge: Option<&VirtualClock>) -> u64 {
+        // Capture under the state lock: the clone shares term payloads
+        // (`Arc<str>`), so this is O(ids), not O(bytes).
+        let (graph, captured) = {
+            let st = self.state.lock();
+            (st.graph.clone(), st.graph.len())
+        };
+        let text = match io.format {
+            RdfFormat::Turtle => turtle::serialize(&graph, &Namespaces::standard()),
+            RdfFormat::NTriples => ntriples::serialize(&graph),
+        };
+        let (tmp, dst) = (io.tmp_path.clone(), io.path.clone());
+        if !io.commit_with_retry(&tmp, &dst, text.as_bytes(), charge) {
+            return 0;
+        }
+        // The snapshot holds everything the segments held: fold them away.
+        // Unlink failures are harmless — a surviving segment only feeds the
+        // merge duplicate triples, which collapse.
+        let segs = std::mem::take(&mut io.segments);
+        for seg in segs {
+            let _ = io.fs.unlink(&seg);
+        }
+        // A failed earlier append may have left the next segment's tmp.
+        let _ = io.fs.unlink(&format!("{}.tmp", seg_path(&io.path, io.next_seg)));
+        io.deltas_since_snapshot = 0;
+        io.snapshot_done = true;
+        self.state.lock().watermark = captured;
+        text.len() as u64
+    }
+
+    /// Append one delta segment holding the triples above the watermark.
+    fn delta_flush(&self, io: &mut IoState, charge: Option<&VirtualClock>) -> u64 {
+        // Capture the delta under the state lock: the id slice plus one
+        // `Arc` clone per *distinct* term in it. Advance the watermark
+        // optimistically so the io work below runs against a frozen range.
+        let (ids, terms) = {
+            let mut st = self.state.lock();
+            let ids = st.graph.ids_from(st.watermark).to_vec();
+            if ids.is_empty() {
+                return 0;
+            }
+            let mut terms: HashMap<u32, Term> = HashMap::new();
+            for &(s, p, o) in &ids {
+                for id in [s, p, o] {
+                    terms
+                        .entry(id)
+                        .or_insert_with(|| st.graph.term(TermId(id)).clone());
+                }
+            }
+            st.watermark += ids.len();
+            (ids, terms)
+        };
+        // Render off the state lock; the io lock (held by our caller)
+        // already serializes flushes.
+        let mut buf = Vec::new();
+        ntriples::render_ids(&ids, |id| &terms[&id], &mut buf)
+            .expect("writing to a Vec cannot fail");
+        let seg = seg_path(&io.path, io.next_seg);
+        let tmp = format!("{seg}.tmp");
+        if io.commit_with_retry(&tmp, &seg, &buf, charge) {
+            io.segments.push(seg);
+            io.next_seg += 1;
+            io.deltas_since_snapshot += 1;
+            let n = buf.len() as u64;
+            if io.compact_every > 0 && io.deltas_since_snapshot >= io.compact_every {
+                self.snapshot(io, charge);
+            }
+            n
+        } else {
+            // The delta never landed: rewind the watermark so the next
+            // flush retries exactly these triples under the same segment
+            // name (the atomic rename makes that idempotent).
+            self.state.lock().watermark -= ids.len();
+            0
+        }
+    }
+
+    /// Periodic flush: snapshot first, deltas after (legacy mode always
+    /// snapshots). Returns committed bytes or 0 for a dropped/empty flush.
+    fn flush_now(&self, io: &mut IoState, charge: Option<&VirtualClock>) -> u64 {
+        if io.crashed {
+            io.dropped_flushes += 1;
+            return 0;
+        }
+        if io.delta && io.snapshot_done {
+            self.delta_flush(io, charge)
+        } else {
+            self.snapshot(io, charge)
+        }
+    }
+
+    /// Final flush: always compacts to a single snapshot.
+    fn finish_now(&self, io: &mut IoState, charge: Option<&VirtualClock>) -> u64 {
+        if io.crashed {
+            io.dropped_flushes += 1;
+            return 0;
+        }
+        self.snapshot(io, charge)
+    }
+}
+
 /// A per-process provenance sink.
 pub struct ProvenanceStore {
-    writer: Arc<Mutex<Writer>>,
+    inner: Arc<Inner>,
     /// Background jobs submitted but not yet completed.
     in_flight: Arc<InFlight>,
     async_store: bool,
     fs: Arc<FileSystem>,
     path: String,
-    triples_pushed: Mutex<u64>,
+    triples_pushed: AtomicU64,
 }
 
 impl ProvenanceStore {
     /// Create a store writing `path` on `fs`. `async_store` selects the
-    /// background-pool mode.
+    /// background-pool mode. Delta segments are on by default; see
+    /// [`Self::with_delta`].
     pub fn new(
         fs: Arc<FileSystem>,
         path: impl Into<String>,
@@ -203,31 +377,55 @@ impl ProvenanceStore {
                 let _ = fs.mkdir_all(dir, "provio", SimTime::ZERO);
             }
         }
-        let writer = Writer {
+        let io = IoState {
             fs: Arc::clone(&fs),
             path: path.clone(),
             tmp_path: format!("{path}.tmp"),
             format,
-            graph: Graph::new(),
             retry: RetryPolicy::default(),
             degraded: false,
             crashed: false,
             dropped_flushes: 0,
             last_error: None,
+            delta: true,
+            compact_every: DEFAULT_COMPACT_EVERY,
+            segments: Vec::new(),
+            next_seg: 0,
+            deltas_since_snapshot: 0,
+            snapshot_done: false,
         };
         ProvenanceStore {
-            writer: Arc::new(Mutex::new(writer)),
+            inner: Arc::new(Inner {
+                state: Mutex::new(GraphState {
+                    graph: Graph::new(),
+                    watermark: 0,
+                }),
+                io: Mutex::new(io),
+            }),
             in_flight: Arc::new(InFlight::new()),
             async_store,
             fs,
             path,
-            triples_pushed: Mutex::new(0),
+            triples_pushed: AtomicU64::new(0),
         }
     }
 
     /// Override the flush retry/backoff policy.
     pub fn with_retry(self, retry: RetryPolicy) -> Self {
-        self.writer.lock().retry = retry;
+        self.inner.io.lock().retry = retry;
+        self
+    }
+
+    /// Select the flush protocol: `enabled` turns delta segments on/off
+    /// (off = legacy full rewrite on every flush, the ablation baseline),
+    /// `compact_every` folds segments into a fresh snapshot every that many
+    /// appends (0 = only on `finish`).
+    pub fn with_delta(self, enabled: bool, compact_every: u32) -> Self {
+        {
+            let mut io = self.inner.io.lock();
+            io.delta = enabled;
+            io.compact_every = compact_every;
+        }
         self
     }
 
@@ -240,27 +438,30 @@ impl ProvenanceStore {
     ///
     /// Async mode: enqueue to the shared pool. Sync mode: insert on the
     /// caller's time (pass the issuing process's clock so the cost lands on
-    /// the workflow — exactly the ablation's point).
+    /// the workflow — exactly the ablation's point). Either way only the
+    /// state lock is taken, so a concurrent flush doing file I/O never
+    /// stalls a push.
     pub fn push(&self, triples: Vec<Triple>, charge: Option<&VirtualClock>) {
-        *self.triples_pushed.lock() += triples.len() as u64;
+        self.triples_pushed
+            .fetch_add(triples.len() as u64, Ordering::Relaxed);
         if self.async_store {
-            let writer = Arc::clone(&self.writer);
+            let inner = Arc::clone(&self.inner);
             let in_flight = Arc::clone(&self.in_flight);
             in_flight.inc();
             pool::submit(Box::new(move || {
                 {
-                    let mut w = writer.lock();
+                    let mut st = inner.state.lock();
                     for t in &triples {
-                        w.graph.insert(t);
+                        st.graph.insert(t);
                     }
                 }
                 in_flight.dec();
             }));
         } else {
             let _guard = charge.map(ChargeGuard::new);
-            let mut w = self.writer.lock();
+            let mut st = self.inner.state.lock();
             for t in &triples {
-                w.graph.insert(t);
+                st.graph.insert(t);
             }
         }
     }
@@ -270,59 +471,74 @@ impl ProvenanceStore {
         self.in_flight.wait_zero();
     }
 
-    /// Request an intermediate serialization (periodic policy).
+    /// Request an intermediate serialization (periodic policy). In delta
+    /// mode this appends a segment holding only the not-yet-durable
+    /// triples; the first flush (and every `compact_every`-th) writes a
+    /// full snapshot.
     pub fn flush(&self, charge: Option<&VirtualClock>) {
         if self.async_store {
-            let writer = Arc::clone(&self.writer);
+            let inner = Arc::clone(&self.inner);
             let in_flight = Arc::clone(&self.in_flight);
             in_flight.inc();
             pool::submit(Box::new(move || {
-                writer.lock().write_out(None);
+                let mut io = inner.io.lock();
+                inner.flush_now(&mut io, None);
+                drop(io);
                 in_flight.dec();
             }));
         } else {
             let _guard = charge.map(ChargeGuard::new);
-            self.writer.lock().write_out(charge);
+            let mut io = self.inner.io.lock();
+            self.inner.flush_now(&mut io, charge);
         }
     }
 
-    /// Final flush; blocks until the sub-graph file is durable and returns
-    /// its size in bytes (0 if the store is degraded — see
-    /// [`Self::degraded`] / [`Self::last_error`]).
+    /// Final flush; blocks until the sub-graph is durable as one compacted
+    /// snapshot (all delta segments folded in and removed) and returns its
+    /// size in bytes (0 if the store is degraded — see [`Self::degraded`] /
+    /// [`Self::last_error`]).
     pub fn finish(&self, charge: Option<&VirtualClock>) -> u64 {
         if self.async_store {
             self.drain();
-            self.writer.lock().write_out(None)
+            let mut io = self.inner.io.lock();
+            self.inner.finish_now(&mut io, None)
         } else {
             let _guard = charge.map(ChargeGuard::new);
-            self.writer.lock().write_out(charge)
+            let mut io = self.inner.io.lock();
+            self.inner.finish_now(&mut io, charge)
         }
     }
 
     /// Did the last flush fail (graph kept in memory, bytes not durable)?
     pub fn degraded(&self) -> bool {
-        self.writer.lock().degraded
+        self.inner.io.lock().degraded
     }
 
     /// The most recent flush error, if any (survives a later success, as a
     /// record of retried trouble).
     pub fn last_error(&self) -> Option<FsError> {
-        self.writer.lock().last_error
+        self.inner.io.lock().last_error
     }
 
     /// Flushes dropped after retry exhaustion, permanent error, or crash.
     pub fn dropped_flushes(&self) -> u64 {
-        self.writer.lock().dropped_flushes
+        self.inner.io.lock().dropped_flushes
     }
 
-    /// Current size of the store file on the parallel file system.
+    /// Current size of the committed snapshot on the parallel file system
+    /// (delta segments not included).
     pub fn size_bytes(&self) -> u64 {
         self.fs.stat(&self.path).map(|m| m.size).unwrap_or(0)
     }
 
+    /// Live (committed, not yet compacted) delta segments.
+    pub fn segment_count(&self) -> usize {
+        self.inner.io.lock().segments.len()
+    }
+
     /// Triples pushed so far (pre-dedup).
     pub fn triples_pushed(&self) -> u64 {
-        *self.triples_pushed.lock()
+        self.triples_pushed.load(Ordering::Relaxed)
     }
 }
 
@@ -332,7 +548,8 @@ impl Drop for ProvenanceStore {
         // (e.g. a process crashed before MPI_Finalize).
         if self.async_store {
             self.drain();
-            self.writer.lock().write_out(None);
+            let mut io = self.inner.io.lock();
+            self.inner.finish_now(&mut io, None);
         }
     }
 }
@@ -345,6 +562,18 @@ mod tests {
 
     fn triples(n: usize) -> Vec<Triple> {
         (0..n)
+            .map(|i| {
+                Triple::new(
+                    Subject::iri(format!("urn:s{i}")),
+                    Iri::new("urn:p"),
+                    Term::iri("urn:o"),
+                )
+            })
+            .collect()
+    }
+
+    fn triples_from(start: usize, n: usize) -> Vec<Triple> {
+        (start..start + n)
             .map(|i| {
                 Triple::new(
                     Subject::iri(format!("urn:s{i}")),
@@ -547,6 +776,156 @@ mod tests {
             3,
             "reader sees the previous complete sub-graph, never a mix"
         );
+    }
+
+    #[test]
+    fn periodic_flushes_append_delta_segments() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/ds.nt", RdfFormat::NTriples, false);
+        st.push(triples_from(0, 3), None);
+        st.flush(None); // first flush: full snapshot
+        assert!(fs.exists("/prov/ds.nt"));
+        assert_eq!(st.segment_count(), 0);
+
+        st.push(triples_from(3, 2), None);
+        st.flush(None); // second flush: delta segment 0
+        assert!(fs.exists("/prov/ds.nt.d000000.nt"));
+        assert_eq!(st.segment_count(), 1);
+        // The snapshot was NOT rewritten: it still holds only 3 triples.
+        let snap = String::from_utf8(fs_read(&fs, "/prov/ds.nt")).unwrap();
+        assert_eq!(ntriples::parse(&snap).unwrap().len(), 3);
+        // The segment holds exactly the delta.
+        let seg = String::from_utf8(fs_read(&fs, "/prov/ds.nt.d000000.nt")).unwrap();
+        assert_eq!(ntriples::parse(&seg).unwrap().len(), 2);
+
+        st.push(triples_from(5, 4), None);
+        st.flush(None); // delta segment 1
+        assert_eq!(st.segment_count(), 2);
+        assert!(fs.exists("/prov/ds.nt.d000001.nt"));
+
+        // finish compacts: one snapshot with everything, segments gone.
+        let bytes = st.finish(None);
+        assert!(bytes > 0);
+        assert_eq!(st.segment_count(), 0);
+        assert!(!fs.exists("/prov/ds.nt.d000000.nt"));
+        assert!(!fs.exists("/prov/ds.nt.d000001.nt"));
+        let full = String::from_utf8(fs_read(&fs, "/prov/ds.nt")).unwrap();
+        assert_eq!(ntriples::parse(&full).unwrap().len(), 9);
+    }
+
+    #[test]
+    fn empty_delta_flush_writes_no_segment() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/de.nt", RdfFormat::NTriples, false);
+        st.push(triples(3), None);
+        st.flush(None);
+        st.flush(None); // nothing new since the snapshot
+        assert_eq!(st.segment_count(), 0);
+        assert!(!fs.exists("/prov/de.nt.d000000.nt"));
+    }
+
+    #[test]
+    fn compaction_folds_segments_every_k_appends() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/dc.nt", RdfFormat::NTriples, false)
+            .with_delta(true, 2);
+        st.push(triples_from(0, 1), None);
+        st.flush(None); // snapshot
+        st.push(triples_from(1, 1), None);
+        st.flush(None); // segment 0
+        assert_eq!(st.segment_count(), 1);
+        st.push(triples_from(2, 1), None);
+        st.flush(None); // segment 1 → compaction fires
+        assert_eq!(st.segment_count(), 0, "compact_every=2 folded both");
+        assert!(!fs.exists("/prov/dc.nt.d000000.nt"));
+        assert!(!fs.exists("/prov/dc.nt.d000001.nt"));
+        let snap = String::from_utf8(fs_read(&fs, "/prov/dc.nt")).unwrap();
+        assert_eq!(ntriples::parse(&snap).unwrap().len(), 3);
+        // Sequence numbers keep rising after compaction: no name reuse.
+        st.push(triples_from(3, 1), None);
+        st.flush(None);
+        assert!(fs.exists("/prov/dc.nt.d000002.nt"));
+    }
+
+    #[test]
+    fn legacy_mode_rewrites_full_file_every_flush() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/lg.nt", RdfFormat::NTriples, false)
+            .with_delta(false, 0);
+        st.push(triples_from(0, 3), None);
+        st.flush(None);
+        st.push(triples_from(3, 3), None);
+        st.flush(None);
+        assert_eq!(st.segment_count(), 0);
+        assert!(!fs.exists("/prov/lg.nt.d000000.nt"));
+        let snap = String::from_utf8(fs_read(&fs, "/prov/lg.nt")).unwrap();
+        assert_eq!(ntriples::parse(&snap).unwrap().len(), 6, "full rewrite");
+    }
+
+    #[test]
+    fn failed_delta_append_rewinds_watermark_and_retries_same_segment() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/dr.nt", RdfFormat::NTriples, false)
+            .with_retry(RetryPolicy {
+                max_attempts: 1,
+                backoff_ns: 0,
+            });
+        st.push(triples_from(0, 2), None);
+        st.flush(None); // snapshot
+        // Fail the first delta append outright (one attempt, no retry).
+        let plan = FaultPlan::new(21);
+        plan.add_rule(
+            FaultRule::fail(FaultOp::WriteAt, FsError::Io)
+                .on_path("dr.nt.d000000.nt.tmp")
+                .times(1),
+        );
+        fs.install_faults(plan);
+        st.push(triples_from(2, 3), None);
+        st.flush(None);
+        assert!(st.degraded());
+        assert_eq!(st.segment_count(), 0);
+        assert_eq!(st.dropped_flushes(), 1);
+        // Next flush retries the SAME delta under the SAME segment name.
+        fs.clear_faults();
+        st.flush(None);
+        assert!(!st.degraded());
+        assert_eq!(st.segment_count(), 1);
+        let seg = String::from_utf8(fs_read(&fs, "/prov/dr.nt.d000000.nt")).unwrap();
+        assert_eq!(
+            ntriples::parse(&seg).unwrap().len(),
+            3,
+            "rewound watermark re-serializes the dropped delta"
+        );
+    }
+
+    #[test]
+    fn crash_on_delta_append_keeps_snapshot_and_earlier_segments() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/dx.nt", RdfFormat::NTriples, false);
+        st.push(triples_from(0, 2), None);
+        st.flush(None); // snapshot
+        st.push(triples_from(2, 2), None);
+        st.flush(None); // segment 0
+        let plan = FaultPlan::new(22);
+        plan.add_rule(
+            FaultRule::crash(FaultOp::Rename).on_path("dx.nt.d000001.nt.tmp"),
+        );
+        fs.install_faults(plan);
+        st.push(triples_from(4, 2), None);
+        st.flush(None); // segment 1 crashes at the rename
+        assert_eq!(st.last_error(), Some(FsError::Crashed));
+        // Durable state: snapshot (2 triples) + segment 0 (2 triples), and
+        // the fully-written-but-unrenamed tmp for segment 1 — exactly what
+        // the merge's orphan-tmp adoption recovers.
+        let snap = String::from_utf8(fs_read(&fs, "/prov/dx.nt")).unwrap();
+        assert_eq!(ntriples::parse(&snap).unwrap().len(), 2);
+        let seg0 = String::from_utf8(fs_read(&fs, "/prov/dx.nt.d000000.nt")).unwrap();
+        assert_eq!(ntriples::parse(&seg0).unwrap().len(), 2);
+        assert!(!fs.exists("/prov/dx.nt.d000001.nt"));
+        assert!(fs.exists("/prov/dx.nt.d000001.nt.tmp"));
+        // Crashed: finish never compacts away the durable segments.
+        assert_eq!(st.finish(None), 0);
+        assert!(fs.exists("/prov/dx.nt.d000000.nt"));
     }
 
     fn fs_read(fs: &Arc<FileSystem>, path: &str) -> Vec<u8> {

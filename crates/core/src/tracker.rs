@@ -153,7 +153,8 @@ impl ProvTracker {
             config.format.extension()
         );
         let store = ProvenanceStore::new(fs, store_path, config.format, config.async_store)
-            .with_retry(config.retry);
+            .with_retry(config.retry)
+            .with_delta(config.delta_segments, config.compact_every);
         let program_guid = GuidGen::agent("Program", program);
         let thread_guid = GuidGen::agent("Thread", &format!("{program}-rank{pid}"));
         let tracker = Arc::new(ProvTracker {

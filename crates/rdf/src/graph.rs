@@ -7,34 +7,66 @@
 //! owned [`Triple`]s are only materialized at the API boundary (cheap —
 //! term payloads are `Arc<str>`).
 
-use crate::term::{Iri, Subject, Term};
+use crate::term::{Iri, Subject, Term, TermView};
 use crate::triple::{Triple, TriplePattern};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 
 /// Dense id of an interned term within one [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TermId(pub u32);
 
+fn view_hash(v: TermView<'_>) -> u64 {
+    // DefaultHasher with fixed keys: deterministic across graphs, so a
+    // cloned graph keeps a working table.
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Term interner keyed by [`TermView`] hashes so lookups never allocate or
+/// clone an `Arc` chain. Collisions are resolved by comparing the view
+/// against the stored term.
 #[derive(Debug, Default, Clone)]
 struct Interner {
     terms: Vec<Term>,
-    ids: HashMap<Term, u32>,
+    /// view-hash → candidate ids (almost always a single entry).
+    ids: HashMap<u64, Vec<u32>>,
 }
 
 impl Interner {
-    fn intern(&mut self, t: &Term) -> TermId {
-        if let Some(&id) = self.ids.get(t) {
-            return TermId(id);
+    /// Intern by borrowed view; `make` produces the owned term only on
+    /// first sight (typically an `Arc` clone from the caller's triple).
+    fn intern_view(&mut self, v: TermView<'_>, make: impl FnOnce() -> Term) -> TermId {
+        let h = view_hash(v);
+        let bucket = self.ids.entry(h).or_default();
+        for &id in bucket.iter() {
+            if v.matches(&self.terms[id as usize]) {
+                return TermId(id);
+            }
         }
         let id = self.terms.len() as u32;
-        self.terms.push(t.clone());
-        self.ids.insert(t.clone(), id);
+        self.terms.push(make());
+        bucket.push(id);
         TermId(id)
     }
 
+    fn intern(&mut self, t: &Term) -> TermId {
+        self.intern_view(TermView::of(t), || t.clone())
+    }
+
+    fn get_view(&self, v: TermView<'_>) -> Option<TermId> {
+        self.ids
+            .get(&view_hash(v))?
+            .iter()
+            .copied()
+            .find(|&id| v.matches(&self.terms[id as usize]))
+            .map(TermId)
+    }
+
     fn get(&self, t: &Term) -> Option<TermId> {
-        self.ids.get(t).copied().map(TermId)
+        self.get_view(TermView::of(t))
     }
 
     fn term(&self, id: TermId) -> &Term {
@@ -42,7 +74,7 @@ impl Interner {
     }
 }
 
-type Pair = (u32, u32);
+pub(crate) type Pair = (u32, u32);
 
 /// An indexed RDF graph.
 #[derive(Debug, Default, Clone)]
@@ -50,6 +82,13 @@ pub struct Graph {
     interner: Interner,
     /// Canonical triple set (s, p, o) by id.
     triples: HashSet<(u32, u32, u32)>,
+    /// Id-triples in insertion order. This is what incremental (delta)
+    /// serialization walks: a writer remembers how many triples it has
+    /// already persisted and serializes only `order[watermark..]` on the
+    /// next flush. `remove` keeps the vec consistent but shifts later
+    /// indices, so delta watermarks are only meaningful for append-only
+    /// graphs (the provenance store never removes).
+    order: Vec<(u32, u32, u32)>,
     /// s → [(p, o)]
     spo: HashMap<u32, Vec<Pair>>,
     /// p → [(o, s)]
@@ -77,10 +116,24 @@ impl Graph {
     }
 
     /// Insert a triple. Returns `false` if it was already present.
+    ///
+    /// Interner lookups go through borrowed [`TermView`] keys: a triple
+    /// whose terms are already interned costs zero allocations and zero
+    /// `Arc` refcount traffic to insert.
     pub fn insert(&mut self, t: &Triple) -> bool {
-        let s = self.interner.intern(&Term::from(t.subject.clone()));
-        let p = self.interner.intern(&Term::Iri(t.predicate.clone()));
-        let o = self.interner.intern(&t.object);
+        let s = self
+            .interner
+            .intern_view(TermView::of_subject(&t.subject), || {
+                Term::from(t.subject.clone())
+            });
+        let p = self
+            .interner
+            .intern_view(TermView::of_iri(&t.predicate), || {
+                Term::Iri(t.predicate.clone())
+            });
+        let o = self
+            .interner
+            .intern_view(TermView::of(&t.object), || t.object.clone());
         self.insert_ids(s, p, o)
     }
 
@@ -89,6 +142,7 @@ impl Graph {
         if !self.triples.insert((s.0, p.0, o.0)) {
             return false;
         }
+        self.order.push((s.0, p.0, o.0));
         self.spo.entry(s.0).or_default().push((p.0, o.0));
         self.pos.entry(p.0).or_default().push((o.0, s.0));
         self.osp.entry(o.0).or_default().push((s.0, p.0));
@@ -112,9 +166,9 @@ impl Graph {
 
     pub fn contains(&self, t: &Triple) -> bool {
         let (Some(s), Some(p), Some(o)) = (
-            self.interner.get(&Term::from(t.subject.clone())),
-            self.interner.get(&Term::Iri(t.predicate.clone())),
-            self.interner.get(&t.object),
+            self.interner.get_view(TermView::of_subject(&t.subject)),
+            self.interner.get_view(TermView::of_iri(&t.predicate)),
+            self.interner.get_view(TermView::of(&t.object)),
         ) else {
             return false;
         };
@@ -124,14 +178,21 @@ impl Graph {
     /// Remove a triple. Returns `true` if it was present.
     pub fn remove(&mut self, t: &Triple) -> bool {
         let (Some(s), Some(p), Some(o)) = (
-            self.interner.get(&Term::from(t.subject.clone())),
-            self.interner.get(&Term::Iri(t.predicate.clone())),
-            self.interner.get(&t.object),
+            self.interner.get_view(TermView::of_subject(&t.subject)),
+            self.interner.get_view(TermView::of_iri(&t.predicate)),
+            self.interner.get_view(TermView::of(&t.object)),
         ) else {
             return false;
         };
         if !self.triples.remove(&(s.0, p.0, o.0)) {
             return false;
+        }
+        if let Some(pos) = self
+            .order
+            .iter()
+            .rposition(|&ids| ids == (s.0, p.0, o.0))
+        {
+            self.order.remove(pos);
         }
         fn drop_pair(index: &mut HashMap<u32, Vec<Pair>>, key: u32, pair: Pair) {
             if let Entry::Occupied(mut e) = index.entry(key) {
@@ -150,16 +211,30 @@ impl Graph {
         true
     }
 
-    /// Iterate all triples (materialized; order unspecified).
+    /// Iterate all triples (materialized; insertion order).
     pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.triples.iter().map(move |&(s, p, o)| self.rebuild(s, p, o))
+        self.order.iter().map(move |&(s, p, o)| self.rebuild(s, p, o))
     }
 
-    /// Iterate all triples as id tuples.
+    /// Iterate all triples as id tuples, in insertion order.
     pub fn iter_ids(&self) -> impl Iterator<Item = (TermId, TermId, TermId)> + '_ {
-        self.triples
+        self.order
             .iter()
             .map(|&(s, p, o)| (TermId(s), TermId(p), TermId(o)))
+    }
+
+    /// Id-triples inserted at or after insertion index `start`, in
+    /// insertion order — the delta a serialization watermark has not yet
+    /// persisted. `start` values come from a previous [`Graph::len`] taken
+    /// on this graph (valid only while the graph is append-only).
+    pub fn ids_from(&self, start: usize) -> &[(u32, u32, u32)] {
+        &self.order[start.min(self.order.len())..]
+    }
+
+    /// All interned terms in id order (`terms()[i]` is the term behind
+    /// `TermId(i)`).
+    pub fn terms(&self) -> &[Term] {
+        &self.interner.terms
     }
 
     fn rebuild(&self, s: u32, p: u32, o: u32) -> Triple {
@@ -183,10 +258,10 @@ impl Graph {
         self.match_ids(
             pat.subject
                 .as_ref()
-                .map(|s| self.interner.get(&Term::from(s.clone()))),
+                .map(|s| self.interner.get_view(TermView::of_subject(s))),
             pat.predicate
                 .as_ref()
-                .map(|p| self.interner.get(&Term::Iri(p.clone()))),
+                .map(|p| self.interner.get_view(TermView::of_iri(p))),
             pat.object.as_ref().map(|o| self.interner.get(o)),
         )
         .into_iter()
@@ -311,14 +386,41 @@ impl Graph {
     /// which is what makes the per-process sub-graph strategy of the paper's
     /// provenance store safe: GUID-keyed nodes appearing in several
     /// sub-graphs merge without duplication.
+    ///
+    /// Bulk path: every term of `other` is interned into `self` exactly
+    /// once up front (one hash probe per *distinct* term), then triples are
+    /// inserted by pre-mapped ids — no per-triple term materialization or
+    /// re-hashing. This is what makes parallel sub-graph merging pay off:
+    /// scratch graphs parsed on worker threads fold into the final graph at
+    /// id speed.
     pub fn merge(&mut self, other: &Graph) -> usize {
+        let map: Vec<u32> = other
+            .interner
+            .terms
+            .iter()
+            .map(|t| self.interner.intern(t).0)
+            .collect();
         let mut added = 0;
-        for t in other.iter() {
-            if self.insert(&t) {
+        for &(s, p, o) in &other.order {
+            if self.insert_ids(
+                TermId(map[s as usize]),
+                TermId(map[p as usize]),
+                TermId(map[o as usize]),
+            ) {
                 added += 1;
             }
         }
         added
+    }
+
+    /// The s → [(p, o)] index (serializer-internal).
+    pub(crate) fn spo_index(&self) -> &HashMap<u32, Vec<Pair>> {
+        &self.spo
+    }
+
+    /// The term behind a raw interner id (serializer-internal).
+    pub(crate) fn term_raw(&self, id: u32) -> &Term {
+        self.interner.term(TermId(id))
     }
 
     /// Objects reachable from `subject` via `predicate`.
@@ -495,6 +597,72 @@ mod tests {
         got.sort();
         want.sort();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn insertion_order_and_delta_slices() {
+        let mut g = Graph::new();
+        g.insert(&tr("urn:a", "urn:p", "urn:b"));
+        g.insert(&tr("urn:c", "urn:p", "urn:d"));
+        let mark = g.len();
+        g.insert(&tr("urn:e", "urn:p", "urn:f"));
+        g.insert(&tr("urn:a", "urn:p", "urn:b")); // dup: not re-ordered
+        let delta = g.ids_from(mark);
+        assert_eq!(delta.len(), 1);
+        let (s, _, _) = delta[0];
+        assert_eq!(g.term(TermId(s)), &Term::iri("urn:e"));
+        // Full iteration follows insertion order.
+        let subjects: Vec<String> = g.iter().map(|t| t.subject.to_string()).collect();
+        assert_eq!(subjects, vec!["<urn:a>", "<urn:c>", "<urn:e>"]);
+        // Past-the-end start is an empty delta, not a panic.
+        assert!(g.ids_from(999).is_empty());
+    }
+
+    #[test]
+    fn remove_keeps_order_consistent() {
+        let mut g = Graph::new();
+        g.insert(&tr("urn:a", "urn:p", "urn:b"));
+        g.insert(&tr("urn:c", "urn:p", "urn:d"));
+        g.insert(&tr("urn:e", "urn:p", "urn:f"));
+        g.remove(&tr("urn:c", "urn:p", "urn:d"));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.iter().count(), 2);
+        assert_eq!(g.ids_from(0).len(), 2);
+    }
+
+    #[test]
+    fn bulk_merge_matches_naive_merge() {
+        let mut a = Graph::new();
+        let mut b = Graph::new();
+        for i in 0..50 {
+            a.insert(&tr(&format!("urn:s{i}"), "urn:p", "urn:o"));
+            b.insert(&tr(&format!("urn:s{}", i + 25), "urn:q", "urn:o"));
+        }
+        let mut naive = a.clone();
+        let mut naive_added = 0;
+        for t in b.iter() {
+            if naive.insert(&t) {
+                naive_added += 1;
+            }
+        }
+        let added = a.merge(&b);
+        assert_eq!(added, naive_added);
+        assert_eq!(a.len(), naive.len());
+        for t in naive.iter() {
+            assert!(a.contains(&t));
+        }
+    }
+
+    #[test]
+    fn cloned_graph_interner_still_resolves() {
+        let mut g = Graph::new();
+        g.insert(&tr("urn:a", "urn:p", "urn:b"));
+        let mut g2 = g.clone();
+        assert!(g2.contains(&tr("urn:a", "urn:p", "urn:b")));
+        assert!(!g2.insert(&tr("urn:a", "urn:p", "urn:b")), "dedup survives clone");
+        g2.insert(&tr("urn:x", "urn:p", "urn:b"));
+        assert_eq!(g2.len(), 2);
+        assert_eq!(g.len(), 1);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod turtle;
 
 pub use graph::{Graph, TermId};
 pub use namespace::{ns, Namespaces};
-pub use term::{BlankNode, Iri, Literal, Subject, Term};
+pub use term::{BlankNode, Iri, Literal, Subject, Term, TermView};
 pub use triple::{Triple, TriplePattern};
 
 /// Errors produced by the parsers in this crate.

@@ -9,21 +9,90 @@ use crate::term::{
 };
 use crate::triple::Triple;
 use crate::{Graph, ParseError};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// Serialize `graph` as N-Triples. Lines are sorted for determinism.
 pub fn serialize(graph: &Graph) -> String {
-    let mut lines: Vec<String> = graph.iter().map(|t| triple_line(&t)).collect();
-    lines.sort();
-    let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
-    for l in lines {
-        let _ = writeln!(out, "{l}");
-    }
-    out
+    let mut out = Vec::new();
+    serialize_to(graph, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("N-Triples output is UTF-8")
 }
 
-fn triple_line(t: &Triple) -> String {
-    format!("{} {} {} .", subject_str(&t.subject), t.predicate, term_str(&t.object))
+/// Serialize `graph` as sorted N-Triples into any [`std::io::Write`] sink.
+///
+/// Each distinct term is rendered exactly once through a `TermId`-indexed
+/// string cache, then lines are assembled from cached spellings — the write
+/// path never materializes owned `Triple`s.
+pub fn serialize_to<W: std::io::Write>(
+    graph: &Graph,
+    out: &mut W,
+) -> std::io::Result<()> {
+    for line in sorted_lines(graph.ids_from(0), |id| graph.term_raw(id)) {
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Render a slice of id-triples as sorted N-Triples lines, resolving each
+/// distinct id through `term_of` exactly once. This is the delta-segment
+/// serializer: the store captures an id slice (plus the terms behind it)
+/// under its state lock and renders here off-lock.
+pub fn render_ids<'a, W: std::io::Write>(
+    ids: &[(u32, u32, u32)],
+    term_of: impl Fn(u32) -> &'a Term,
+    out: &mut W,
+) -> std::io::Result<()> {
+    for line in sorted_lines(ids, term_of) {
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+fn sorted_lines<'a>(
+    ids: &[(u32, u32, u32)],
+    term_of: impl Fn(u32) -> &'a Term,
+) -> Vec<String> {
+    let mut cache: HashMap<u32, String> = HashMap::new();
+    for &(s, p, o) in ids {
+        for id in [s, p, o] {
+            cache
+                .entry(id)
+                .or_insert_with(|| render_term(term_of(id)));
+        }
+    }
+    let mut lines: Vec<String> = ids
+        .iter()
+        .map(|&(s, p, o)| {
+            let (s, p, o) = (&cache[&s], &cache[&p], &cache[&o]);
+            let mut l = String::with_capacity(s.len() + p.len() + o.len() + 4);
+            l.push_str(s);
+            l.push(' ');
+            l.push_str(p);
+            l.push(' ');
+            l.push_str(o);
+            l.push_str(" .");
+            l
+        })
+        .collect();
+    lines.sort_unstable();
+    lines
+}
+
+/// Write one triple as a single N-Triples line.
+pub fn write_triple<W: std::io::Write>(
+    out: &mut W,
+    t: &Triple,
+) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "{} {} {} .",
+        subject_str(&t.subject),
+        t.predicate,
+        render_term(&t.object)
+    )
 }
 
 fn subject_str(s: &Subject) -> String {
@@ -33,7 +102,9 @@ fn subject_str(s: &Subject) -> String {
     }
 }
 
-fn term_str(t: &Term) -> String {
+/// Render a term's N-Triples spelling (any position: N-Triples spells a
+/// term identically as subject, predicate, or object).
+pub fn render_term(t: &Term) -> String {
     match t {
         Term::Iri(i) => i.to_string(),
         Term::Blank(b) => b.to_string(),

@@ -203,6 +203,85 @@ pub fn unescape_literal(s: &str) -> Option<String> {
     Some(out)
 }
 
+/// A borrowed, allocation-free view of a [`Term`], used as a lookup key.
+///
+/// The graph's interner keys its id table on hashes of `TermView`s rather
+/// than owned [`Term`]s, so hot-path lookups (`Graph::insert` on an
+/// already-interned term, `Graph::contains`, pattern matching) never clone
+/// an `Arc` chain just to build a key. A view can be taken from a `Term`, a
+/// [`Subject`], or a bare [`Iri`] without touching any refcount.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermView<'a> {
+    Iri(&'a str),
+    Blank(&'a str),
+    Literal {
+        lexical: &'a str,
+        datatype: Option<&'a str>,
+        lang: Option<&'a str>,
+    },
+}
+
+impl<'a> TermView<'a> {
+    pub fn of(t: &'a Term) -> Self {
+        match t {
+            Term::Iri(i) => TermView::Iri(i.as_str()),
+            Term::Blank(b) => TermView::Blank(b.label()),
+            Term::Literal(l) => TermView::Literal {
+                lexical: l.lexical(),
+                datatype: l.datatype().map(Iri::as_str),
+                lang: l.lang(),
+            },
+        }
+    }
+
+    pub fn of_subject(s: &'a Subject) -> Self {
+        match s {
+            Subject::Iri(i) => TermView::Iri(i.as_str()),
+            Subject::Blank(b) => TermView::Blank(b.label()),
+        }
+    }
+
+    pub fn of_iri(i: &'a Iri) -> Self {
+        TermView::Iri(i.as_str())
+    }
+
+    /// Does this view denote the same RDF term as `t`?
+    pub fn matches(self, t: &Term) -> bool {
+        self == TermView::of(t)
+    }
+}
+
+impl std::hash::Hash for TermView<'_> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            TermView::Iri(s) => {
+                state.write_u8(0);
+                state.write(s.as_bytes());
+            }
+            TermView::Blank(s) => {
+                state.write_u8(1);
+                state.write(s.as_bytes());
+            }
+            TermView::Literal {
+                lexical,
+                datatype,
+                lang,
+            } => {
+                state.write_u8(2);
+                state.write(lexical.as_bytes());
+                state.write_u8(3);
+                if let Some(dt) = datatype {
+                    state.write(dt.as_bytes());
+                }
+                state.write_u8(4);
+                if let Some(l) = lang {
+                    state.write(l.as_bytes());
+                }
+            }
+        }
+    }
+}
+
 /// A triple subject: an IRI or a blank node.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Subject {

@@ -14,7 +14,7 @@ use crate::term::{
 };
 use crate::triple::Triple;
 use crate::{Graph, ParseError};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 // ---------------------------------------------------------------------------
@@ -26,6 +26,12 @@ use std::fmt::Write as _;
 /// Output is deterministic: prefixes, subjects, predicates and objects are
 /// each emitted in sorted order, so identical graphs always serialize to
 /// identical bytes (important for provenance-size measurements).
+///
+/// The serializer works at the id level: grouping and sorting walk the
+/// graph's SPO index directly, and every distinct term is rendered to its
+/// Turtle spelling exactly once per call through a `TermId`-indexed string
+/// cache — no owned `Subject`/`Term` clones, no per-predicate re-sorting of
+/// materialized object vectors.
 pub fn serialize(graph: &Graph, nss: &Namespaces) -> String {
     let mut out = String::new();
     for (prefix, iri) in nss.iter() {
@@ -35,39 +41,73 @@ pub fn serialize(graph: &Graph, nss: &Namespaces) -> String {
         out.push('\n');
     }
 
-    // subject → predicate → objects, all sorted for determinism.
-    let mut by_subject: BTreeMap<Subject, BTreeMap<Iri, Vec<Term>>> = BTreeMap::new();
-    for t in graph.iter() {
-        by_subject
-            .entry(t.subject)
-            .or_default()
-            .entry(t.predicate)
-            .or_default()
-            .push(t.object);
-    }
+    let spo = graph.spo_index();
+    // Subjects sorted by term order (matches the old Subject-keyed BTreeMap
+    // ordering: IRIs before blanks, each lexicographic).
+    let mut subject_ids: Vec<u32> = spo.keys().copied().collect();
+    subject_ids.sort_unstable_by(|&a, &b| graph.term_raw(a).cmp(graph.term_raw(b)));
 
-    for (subject, preds) in &by_subject {
-        let _ = write!(out, "{}", subject_str(subject, nss));
-        let n = preds.len();
-        for (i, (pred, objects)) in preds.iter().enumerate() {
-            let mut objects = objects.clone();
-            objects.sort();
-            let objs: Vec<String> = objects.iter().map(|o| term_str(o, nss)).collect();
-            let sep = if i + 1 == n { " ." } else { " ;" };
-            if i == 0 {
-                let _ = writeln!(out, " {} {}{sep}", pred_str(pred, nss), objs.join(" , "));
-            } else {
-                let _ = writeln!(out, "    {} {}{sep}", pred_str(pred, nss), objs.join(" , "));
+    // Rendered spellings, one per distinct term id per call.
+    let mut terms: HashMap<u32, String> = HashMap::new();
+    let mut preds: HashMap<u32, String> = HashMap::new();
+
+    for &s in &subject_ids {
+        let mut pairs: Vec<(u32, u32)> = spo[&s].clone();
+        // (predicate, object) in term order, again matching the legacy
+        // BTreeMap<Iri, Vec<Term>> + sort() output byte for byte.
+        pairs.sort_unstable_by(|&(p1, o1), &(p2, o2)| {
+            graph
+                .term_raw(p1)
+                .cmp(graph.term_raw(p2))
+                .then_with(|| graph.term_raw(o1).cmp(graph.term_raw(o2)))
+        });
+
+        let subject = terms
+            .entry(s)
+            .or_insert_with(|| subject_term_str(graph.term_raw(s), nss))
+            .clone();
+        let _ = write!(out, "{subject}");
+
+        let mut i = 0;
+        let mut first_pred = true;
+        while i < pairs.len() {
+            let p = pairs[i].0;
+            let mut j = i;
+            while j < pairs.len() && pairs[j].0 == p {
+                j += 1;
             }
+            preds.entry(p).or_insert_with(|| match graph.term_raw(p) {
+                Term::Iri(iri) => pred_str(iri, nss),
+                other => subject_term_str(other, nss),
+            });
+            for &(_, o) in &pairs[i..j] {
+                terms
+                    .entry(o)
+                    .or_insert_with(|| term_str(graph.term_raw(o), nss));
+            }
+            let rendered: Vec<&str> = pairs[i..j]
+                .iter()
+                .map(|&(_, o)| terms[&o].as_str())
+                .collect();
+            let sep = if j == pairs.len() { " ." } else { " ;" };
+            if first_pred {
+                let _ = writeln!(out, " {} {}{sep}", preds[&p], rendered.join(" , "));
+            } else {
+                let _ = writeln!(out, "    {} {}{sep}", preds[&p], rendered.join(" , "));
+            }
+            first_pred = false;
+            i = j;
         }
     }
     out
 }
 
-fn subject_str(s: &Subject, nss: &Namespaces) -> String {
-    match s {
-        Subject::Iri(i) => iri_str(i, nss),
-        Subject::Blank(b) => format!("_:{}", b.label()),
+/// Render a term occupying the subject position (IRI or blank).
+fn subject_term_str(t: &Term, nss: &Namespaces) -> String {
+    match t {
+        Term::Iri(i) => iri_str(i, nss),
+        Term::Blank(b) => format!("_:{}", b.label()),
+        Term::Literal(_) => unreachable!("literal in subject position"),
     }
 }
 

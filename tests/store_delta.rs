@@ -1,0 +1,174 @@
+//! Delta-segment store protocol: equivalence with the legacy full-rewrite
+//! path, and crash consistency of segment appends and compaction.
+
+use prov_io::core::{
+    merge_directory, merge_directory_sequential, ProvenanceStore, RdfFormat, RetryPolicy,
+};
+use prov_io::hpcfs::{FaultOp, FaultPlan, FaultRule, FileSystem, FsError, LustreConfig};
+use prov_io::rdf::{ntriples, Iri, Subject, Term, Triple};
+use std::sync::Arc;
+
+fn triples(range: std::ops::Range<usize>) -> Vec<Triple> {
+    range
+        .map(|i| {
+            Triple::new(
+                Subject::iri(format!("urn:s{i}")),
+                Iri::new("urn:p"),
+                Term::iri(format!("urn:o{}", i % 5)),
+            )
+        })
+        .collect()
+}
+
+fn fs_read(fs: &Arc<FileSystem>, path: &str) -> Vec<u8> {
+    let ino = fs.lookup(path).unwrap();
+    let size = fs.stat(path).unwrap().size;
+    fs.read_at(ino, 0, size).unwrap().to_vec()
+}
+
+#[test]
+fn delta_and_legacy_stores_merge_byte_identically() {
+    let fs = FileSystem::new(LustreConfig::default());
+    // compact_every=3: compaction fires once mid-run (flush 4) and a later
+    // segment still survives to the mid-run check below.
+    let delta = ProvenanceStore::new(Arc::clone(&fs), "/a/prov.ttl", RdfFormat::Turtle, false)
+        .with_delta(true, 3);
+    let legacy = ProvenanceStore::new(Arc::clone(&fs), "/b/prov.ttl", RdfFormat::Turtle, false)
+        .with_delta(false, 0);
+    // Same stream, same flush points; ranges overlap so dedup is exercised.
+    for r in 0..5 {
+        let batch = triples(r * 7..r * 7 + 10);
+        delta.push(batch.clone(), None);
+        legacy.push(batch, None);
+        delta.flush(None);
+        legacy.flush(None);
+    }
+    // Mid-run (no finish): the delta store's directory holds a snapshot
+    // plus segments, the legacy one a single rewritten file — but they
+    // merge to the same graph, byte for byte in canonical form.
+    let (ga, ra) = merge_directory(&fs, "/a");
+    let (gb, rb) = merge_directory(&fs, "/b");
+    assert!(ra.corrupt.is_empty() && rb.corrupt.is_empty());
+    assert!(ra.files > rb.files, "delta store left segments behind");
+    assert_eq!(
+        ntriples::serialize(&ga),
+        ntriples::serialize(&gb),
+        "snapshot+deltas merge == legacy full-rewrite merge"
+    );
+    // After finish both compact to one snapshot of the same graph: the
+    // committed files themselves are byte-identical.
+    let a = delta.finish(None);
+    let b = legacy.finish(None);
+    assert!(a > 0 && a == b);
+    assert_eq!(delta.segment_count(), 0, "finish folded all segments");
+    assert_eq!(
+        fs_read(&fs, "/a/prov.ttl"),
+        fs_read(&fs, "/b/prov.ttl"),
+        "compacted snapshot == legacy committed file"
+    );
+    // The parallel and sequential merges agree on the mixed directory too.
+    let (gs, _) = merge_directory_sequential(&fs, "/a");
+    let (gp, _) = merge_directory(&fs, "/a");
+    assert_eq!(ntriples::serialize(&gs), ntriples::serialize(&gp));
+}
+
+#[test]
+fn torn_delta_append_salvages_valid_prefix() {
+    let fs = FileSystem::new(LustreConfig::default());
+    let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/t.nt", RdfFormat::NTriples, false);
+    st.push(triples(0..4), None);
+    st.flush(None); // snapshot
+    st.push(triples(4..8), None);
+    st.flush(None); // segment 0, committed clean
+    // Tear the next segment append mid-write: keep two complete lines plus
+    // a torn third (lines are ~26 bytes).
+    let plan = FaultPlan::new(31);
+    plan.add_rule(
+        FaultRule::crash(FaultOp::WriteAt)
+            .on_path("t.nt.d000001.nt.tmp")
+            .torn(60),
+    );
+    fs.install_faults(plan);
+    st.push(triples(8..12), None);
+    st.flush(None);
+    assert_eq!(st.last_error(), Some(FsError::Crashed));
+    fs.clear_faults();
+
+    let (g, report) = merge_directory(&fs, "/prov");
+    // Snapshot (4) + segment 0 (4) recovered whole; the torn orphan tmp is
+    // adopted and its valid prefix salvaged.
+    assert!(report.corrupt.is_empty(), "torn tmp salvages, never corrupts");
+    assert_eq!(
+        report.recovered,
+        vec!["/prov/t.nt.d000001.nt.tmp".to_string()],
+        "orphan segment tmp adopted"
+    );
+    assert!(report.salvaged_triples >= 1, "prefix lines recovered");
+    assert!(g.len() >= 9, "everything durable plus the salvaged prefix");
+    for t in triples(0..8) {
+        assert!(g.contains(&t), "committed triple lost: {t}");
+    }
+}
+
+#[test]
+fn crash_on_compaction_rename_loses_nothing() {
+    let fs = FileSystem::new(LustreConfig::default());
+    let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/c.nt", RdfFormat::NTriples, false)
+        .with_delta(true, 2);
+    st.push(triples(0..3), None);
+    st.flush(None); // snapshot
+    st.push(triples(3..6), None);
+    st.flush(None); // segment 0
+    // The next flush commits segment 1, then compaction fires and dies at
+    // the snapshot rename.
+    let plan = FaultPlan::new(32);
+    plan.add_rule(FaultRule::crash(FaultOp::Rename).on_path("c.nt.tmp"));
+    fs.install_faults(plan);
+    st.push(triples(6..9), None);
+    st.flush(None);
+    assert_eq!(st.last_error(), Some(FsError::Crashed));
+    fs.clear_faults();
+
+    // Durable state: old snapshot + both segments + the fully-written
+    // compaction tmp (shadowed by the committed snapshot). Nothing lost.
+    assert!(fs.exists("/prov/c.nt"));
+    assert!(fs.exists("/prov/c.nt.d000000.nt"));
+    assert!(fs.exists("/prov/c.nt.d000001.nt"));
+    assert!(fs.exists("/prov/c.nt.tmp"), "compaction died before rename");
+    let (g, report) = merge_directory(&fs, "/prov");
+    assert!(report.corrupt.is_empty());
+    assert!(report.recovered.is_empty(), "stale compaction tmp shadowed");
+    assert_eq!(g.len(), 9, "every pushed triple recovered");
+    for t in triples(0..9) {
+        assert!(g.contains(&t));
+    }
+}
+
+#[test]
+fn transient_error_on_delta_append_retries_in_place() {
+    let fs = FileSystem::new(LustreConfig::default());
+    let plan = FaultPlan::new(33);
+    plan.add_rule(
+        FaultRule::fail(FaultOp::WriteAt, FsError::Io)
+            .on_path("r.nt.d000000.nt.tmp")
+            .times(1),
+    );
+    fs.install_faults(Arc::clone(&plan));
+    let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/r.nt", RdfFormat::NTriples, false)
+        .with_retry(RetryPolicy {
+            max_attempts: 3,
+            backoff_ns: 100,
+        });
+    st.push(triples(0..2), None);
+    st.flush(None); // snapshot
+    st.push(triples(2..5), None);
+    st.flush(None); // segment 0: first write attempt fails, retry lands
+    assert!(!st.degraded(), "transient EIO absorbed by the retry policy");
+    assert_eq!(st.last_error(), Some(FsError::Io), "retry left a trace");
+    assert_eq!(plan.injected(), 1);
+    assert_eq!(st.segment_count(), 1);
+    let (g, report) = merge_directory(&fs, "/prov");
+    assert!(report.corrupt.is_empty());
+    assert_eq!(report.salvaged_triples, 0);
+    assert_eq!(g.len(), 5);
+}
