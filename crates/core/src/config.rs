@@ -57,6 +57,22 @@ impl RetryPolicy {
     }
 }
 
+/// What an asynchronous store does when its bounded intake queue is full
+/// (see `crate::store::ProvenanceStore`). The unbounded queue this replaces
+/// let a fast producer balloon memory without limit; both policies here
+/// keep memory bounded and differ only in who pays:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// The pushing rank waits until the writers catch up — backpressure on
+    /// the workflow's critical path, no provenance lost.
+    #[default]
+    Block,
+    /// The batch is dropped and counted (`TrackSummary::shed_batches` /
+    /// `shed_triples`) — the workflow never stalls, provenance is lossy
+    /// under overload but *honestly* lossy.
+    Shed,
+}
+
 /// When per-process sub-graphs are pushed to the store (paper §4.2: "the
 /// serialization operation may be triggered either periodically or by the
 /// end of the workflow").
@@ -100,11 +116,41 @@ pub struct ProvIoConfig {
     /// Fold delta segments into a fresh snapshot every this many appends
     /// (`[store] compact_every`; 0 = compact only on finish).
     pub compact_every: u32,
+    /// Capacity of the async store's intake queue, in pushed batches
+    /// (`[store] queue_capacity`; 0 = unbounded, the legacy behavior).
+    pub queue_capacity: u64,
+    /// What happens when the intake queue is full
+    /// (`[store] overload_policy = block | shed`).
+    pub overload: OverloadPolicy,
+    /// Trip the store's circuit breaker after this many *consecutive*
+    /// failed flushes (`[store] breaker_threshold`; 0 disables the
+    /// breaker). While open, periodic flushes are skipped instead of
+    /// hammering a failing backend; triples stay queued in memory above the
+    /// watermark, so nothing is lost when the breaker closes again.
+    pub breaker_threshold: u32,
+    /// How long (virtual ns) an open breaker waits before letting one
+    /// half-open probe flush through (`[store] breaker_backoff_ns`).
+    pub breaker_backoff_ns: u64,
+    /// Evaluation budget for SPARQL queries run through the engine, in
+    /// produced bindings/visited path nodes (`[query] query_budget`;
+    /// 0 = unlimited). A runaway query over a corrupted graph terminates
+    /// with `QueryError::BudgetExhausted` instead of spinning.
+    pub query_budget: u64,
 }
 
 /// Default Redland-calibrated per-record latency (see
 /// [`ProvIoConfig::record_latency_ns`]).
 pub const DEFAULT_RECORD_LATENCY_NS: u64 = 2_000_000;
+
+/// Default async intake-queue capacity, in batches (see
+/// [`ProvIoConfig::queue_capacity`]). A batch is at most ~4096 records, so
+/// this bounds per-store buffered memory while staying far above any rate
+/// the shared writer pool cannot absorb in steady state.
+pub const DEFAULT_QUEUE_CAPACITY: u64 = 1024;
+
+/// Default open-breaker backoff (virtual ns) before a half-open probe (see
+/// [`ProvIoConfig::breaker_backoff_ns`]): 100 ms of modeled time.
+pub const DEFAULT_BREAKER_BACKOFF_NS: u64 = 100_000_000;
 
 impl Default for ProvIoConfig {
     fn default() -> Self {
@@ -119,6 +165,11 @@ impl Default for ProvIoConfig {
             retry: RetryPolicy::default(),
             delta_segments: true,
             compact_every: crate::store::DEFAULT_COMPACT_EVERY,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            overload: OverloadPolicy::Block,
+            breaker_threshold: 0,
+            breaker_backoff_ns: DEFAULT_BREAKER_BACKOFF_NS,
+            query_budget: 0,
         }
     }
 }
@@ -179,6 +230,29 @@ impl ProvIoConfig {
         self
     }
 
+    /// Bound the async store's intake queue (`capacity` batches; 0 =
+    /// unbounded) and pick the full-queue policy.
+    pub fn with_queue(mut self, capacity: u64, policy: OverloadPolicy) -> Self {
+        self.queue_capacity = capacity;
+        self.overload = policy;
+        self
+    }
+
+    /// Arm the store's circuit breaker: trip after `threshold` consecutive
+    /// flush failures (0 disables), half-open probe after `backoff_ns`
+    /// virtual nanoseconds.
+    pub fn with_breaker(mut self, threshold: u32, backoff_ns: u64) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_backoff_ns = backoff_ns;
+        self
+    }
+
+    /// Cap SPARQL evaluation work (0 = unlimited).
+    pub fn with_query_budget(mut self, budget: u64) -> Self {
+        self.query_budget = budget;
+        self
+    }
+
     pub fn shared(self) -> Arc<Self> {
         Arc::new(self)
     }
@@ -188,7 +262,11 @@ impl ProvIoConfig {
     /// Recognized keys: `store_dir`, `policy` (`at_end` | `every:<n>`),
     /// `format` (`turtle` | `ntriples`), `async` (`true`/`false`),
     /// `delta_segments` (`true`/`false`), `compact_every` (`<n>`, 0 = only
-    /// on finish), `workflow_type`, `preset` (one of the Table 3 presets),
+    /// on finish), `queue_capacity` (`<n>` batches, 0 = unbounded),
+    /// `overload_policy` (`block` | `shed`), `breaker_threshold` (`<n>`
+    /// consecutive failures, 0 = disabled), `breaker_backoff_ns`,
+    /// `query_budget` (`<n>` evaluation steps, 0 = unlimited),
+    /// `workflow_type`, `preset` (one of the Table 3 presets),
     /// and `track`/`untrack` with a comma-separated item list
     /// (`file,dataset,attribute,duration,…`).
     pub fn from_ini(text: &str) -> Result<Self, String> {
@@ -226,6 +304,33 @@ impl ProvIoConfig {
                 }
                 "compact_every" => {
                     cfg.compact_every = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad integer", lineno + 1))?
+                }
+                "queue_capacity" => {
+                    cfg.queue_capacity = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad integer", lineno + 1))?
+                }
+                "overload_policy" => {
+                    cfg.overload = match value {
+                        "block" => OverloadPolicy::Block,
+                        "shed" => OverloadPolicy::Shed,
+                        _ => return Err(format!("line {}: unknown overload policy", lineno + 1)),
+                    }
+                }
+                "breaker_threshold" => {
+                    cfg.breaker_threshold = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad integer", lineno + 1))?
+                }
+                "breaker_backoff_ns" => {
+                    cfg.breaker_backoff_ns = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad integer", lineno + 1))?
+                }
+                "query_budget" => {
+                    cfg.query_budget = value
                         .parse()
                         .map_err(|_| format!("line {}: bad integer", lineno + 1))?
                 }
@@ -407,6 +512,44 @@ mod tests {
             .with_compact_every(3);
         assert!(!c.delta_segments);
         assert_eq!(c.compact_every, 3);
+    }
+
+    #[test]
+    fn resilience_knobs_default_builder_and_ini() {
+        let c = ProvIoConfig::default();
+        assert_eq!(c.queue_capacity, DEFAULT_QUEUE_CAPACITY);
+        assert_eq!(c.overload, OverloadPolicy::Block);
+        assert_eq!(c.breaker_threshold, 0, "breaker off unless armed");
+        assert_eq!(c.breaker_backoff_ns, DEFAULT_BREAKER_BACKOFF_NS);
+        assert_eq!(c.query_budget, 0, "queries unlimited unless capped");
+
+        let c = ProvIoConfig::default()
+            .with_queue(16, OverloadPolicy::Shed)
+            .with_breaker(3, 5_000)
+            .with_query_budget(10_000);
+        assert_eq!(c.queue_capacity, 16);
+        assert_eq!(c.overload, OverloadPolicy::Shed);
+        assert_eq!(c.breaker_threshold, 3);
+        assert_eq!(c.breaker_backoff_ns, 5_000);
+        assert_eq!(c.query_budget, 10_000);
+
+        let c = ProvIoConfig::from_ini(
+            "[store]\n\
+             queue_capacity = 8\n\
+             overload_policy = shed\n\
+             breaker_threshold = 4\n\
+             breaker_backoff_ns = 2000\n\
+             [query]\n\
+             query_budget = 500\n",
+        )
+        .unwrap();
+        assert_eq!(c.queue_capacity, 8);
+        assert_eq!(c.overload, OverloadPolicy::Shed);
+        assert_eq!(c.breaker_threshold, 4);
+        assert_eq!(c.breaker_backoff_ns, 2000);
+        assert_eq!(c.query_budget, 500);
+        assert!(ProvIoConfig::from_ini("overload_policy = panic").is_err());
+        assert!(ProvIoConfig::from_ini("breaker_threshold = many").is_err());
     }
 
     #[test]

@@ -13,20 +13,34 @@ use std::collections::{HashMap, HashSet, VecDeque};
 /// Query engine over a (merged) provenance graph.
 pub struct ProvQueryEngine {
     graph: Graph,
+    /// Step budget for each SPARQL evaluation; `u64::MAX` = unlimited.
+    budget: u64,
 }
 
 impl ProvQueryEngine {
     pub fn new(graph: Graph) -> Self {
-        ProvQueryEngine { graph }
+        ProvQueryEngine {
+            graph,
+            budget: u64::MAX,
+        }
+    }
+
+    /// Cap each SPARQL evaluation at `budget` steps (the config knob
+    /// `query_budget`); `0` means unlimited. A runaway join or a closure
+    /// walk over a dense merged graph then fails with
+    /// [`QueryError::BudgetExhausted`] instead of monopolizing the engine.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = if budget == 0 { u64::MAX } else { budget };
+        self
     }
 
     pub fn graph(&self) -> &Graph {
         &self.graph
     }
 
-    /// Run a SPARQL SELECT query.
+    /// Run a SPARQL SELECT query, subject to the engine's step budget.
     pub fn sparql(&self, query: &str) -> Result<Solutions, QueryError> {
-        Ok(Query::parse(query)?.execute(&self.graph))
+        Query::parse(query)?.execute_with_budget(&self.graph, self.budget)
     }
 
     /// Find the entity whose `rdfs:label` is exactly `label`.
@@ -602,6 +616,22 @@ mod tests {
         for g in &forward {
             assert!(eng.backward_lineage(g).contains(&raw));
         }
+    }
+
+    #[test]
+    fn query_budget_knob_limits_evaluation() {
+        let eng = ProvQueryEngine::new(dassa_graph()).with_budget(2);
+        let err = eng
+            .sparql("SELECT ?a ?p WHERE { ?a prov:wasAssociatedWith ?p . }")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::BudgetExhausted { budget: 2 }));
+
+        // 0 means unlimited (the `query_budget` ini default).
+        let eng = ProvQueryEngine::new(dassa_graph()).with_budget(0);
+        let sols = eng
+            .sparql("SELECT ?a WHERE { ?a a provio:Read . }")
+            .unwrap();
+        assert_eq!(sols.len(), 2);
     }
 
     #[test]

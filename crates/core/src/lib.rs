@@ -30,15 +30,17 @@ pub mod config;
 pub mod connector;
 pub mod engine;
 pub mod merge;
+pub mod report;
 pub mod store;
 pub mod tracker;
 pub mod wrapper;
 
 pub use api::ProvIoApi;
-pub use config::{ProvIoConfig, RdfFormat, RetryPolicy, SerializationPolicy};
+pub use config::{OverloadPolicy, ProvIoConfig, RdfFormat, RetryPolicy, SerializationPolicy};
 pub use connector::ProvIoVol;
 pub use engine::ProvQueryEngine;
 pub use merge::{merge_directory, merge_directory_sequential};
-pub use store::ProvenanceStore;
+pub use report::{doctor, DoctorReport, RankCrash, RunReport};
+pub use store::{BreakerState, ProvenanceStore};
 pub use tracker::{IoEvent, ObjectDesc, ProvTracker, TrackerRegistry};
 pub use wrapper::PosixWrapper;

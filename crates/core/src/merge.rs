@@ -8,9 +8,15 @@
 
 use provio_hpcfs::FileSystem;
 use provio_rdf::{ntriples, turtle, Graph};
+use provio_simrt::catch_quiet;
 use rayon::prelude::*;
 use std::collections::HashSet;
 use std::sync::Arc;
+
+/// Test hook: paths containing this marker panic inside [`process_file`],
+/// standing in for a parser bug on hostile input.
+#[cfg(test)]
+static PANIC_ON: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
 
 /// Result of a merge.
 #[derive(Debug)]
@@ -118,6 +124,15 @@ enum Outcome {
 /// Read and parse (or salvage) one file into a scratch graph. Pure function
 /// of the file: no shared mutable state, so files process in parallel.
 fn process_file(fs: &Arc<FileSystem>, path: &str, committed: &HashSet<&str>) -> Outcome {
+    #[cfg(test)]
+    {
+        // Clone out of the guard: panicking while holding a std Mutex
+        // would poison it for every other merge test in the process.
+        let marker = PANIC_ON.lock().unwrap().clone();
+        if marker.is_some_and(|m| path.contains(&m)) {
+            panic!("injected parse panic on {path}");
+        }
+    }
     let adopted_tmp = match path.strip_suffix(".tmp") {
         Some(base) if committed.contains(base) => return Outcome::Skipped, // commit wins
         Some(_) => true,
@@ -192,16 +207,16 @@ fn merge_directory_impl(
         Err(_) => return (graph, report),
     };
     let committed: HashSet<&str> = files.iter().map(String::as_str).collect();
+    // A panic while parsing one file (a parser bug on hostile input) is
+    // contained to that file and reported like any other unreadable input —
+    // uncaught, a single panicking rayon task would abort the whole merge.
+    let guarded = |path: &String| {
+        catch_quiet(|| process_file(fs, path, &committed)).unwrap_or(Outcome::Corrupt)
+    };
     let outcomes: Vec<Outcome> = if parallel {
-        files
-            .par_iter()
-            .map(|path| process_file(fs, path, &committed))
-            .collect()
+        files.par_iter().map(guarded).collect()
     } else {
-        files
-            .iter()
-            .map(|path| process_file(fs, path, &committed))
-            .collect()
+        files.iter().map(guarded).collect()
     };
     // Deterministic sequential fold in directory order; the merge itself is
     // the bulk id-mapped path (one intern per distinct term per file).
@@ -385,6 +400,33 @@ mod tests {
         assert_eq!(report.salvaged_triples, 1, "prefix salvage is accounted");
         assert_eq!(g.len(), 2);
         assert!(report.corrupt.is_empty());
+    }
+
+    #[test]
+    fn panicking_parse_task_is_contained_per_file() {
+        let fs = FileSystem::new(LustreConfig::default());
+        write_file(&fs, "/provio/prov_p0.nt", b"<urn:a> <urn:p> <urn:b> .\n");
+        write_file(&fs, "/provio/prov_p1.nt", b"<urn:c> <urn:p> <urn:d> .\n");
+        // Perfectly valid content — the panic models a parser bug, not bad
+        // data, so only the injected hook distinguishes this file.
+        write_file(&fs, "/provio/prov_panicme.nt", b"<urn:e> <urn:p> <urn:f> .\n");
+        *PANIC_ON.lock().unwrap() = Some("panicme".into());
+        let (gp, rp) = merge_directory(&fs, "/provio");
+        let (gs, rs) = merge_directory_sequential(&fs, "/provio");
+        *PANIC_ON.lock().unwrap() = None;
+        for (g, r) in [(&gp, &rp), (&gs, &rs)] {
+            assert_eq!(
+                r.corrupt,
+                vec!["/provio/prov_panicme.nt".to_string()],
+                "the panicking file is reported like unreadable input"
+            );
+            assert_eq!(r.files, 2, "the other files still contribute");
+            assert_eq!(g.len(), 2);
+        }
+        // With the hook cleared, the same directory merges fully.
+        let (g, r) = merge_directory(&fs, "/provio");
+        assert!(r.corrupt.is_empty());
+        assert_eq!(g.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,433 @@
+//! Run-level completeness reporting and merged-graph consistency checks.
+//!
+//! A resilient run (ranks may crash, files may tear, flushes may shed) is
+//! only useful if the survivor graph comes with an honest statement of what
+//! it covers. This module joins the two sources of truth:
+//!
+//! * the per-rank [`RankOutcome`]s a superstep returns — who crashed,
+//!   where, and why — and
+//! * the [`MergeReport`] from [`crate::merge::merge_directory`] — which
+//!   per-process sub-graphs were recovered, salvaged, or lost.
+//!
+//! [`RunReport`] folds both into a single completeness metric
+//! (`recovered sub-graphs / expected sub-graphs`), and [`doctor`] runs a
+//! structural consistency pass over the merged graph itself, flagging
+//! dangling relation edges, activities with no responsible agent, and GUIDs
+//! that resolve to more than one class (a content-address collision or a
+//! corrupted merge).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use provio_model::{Guid, NodeClass, Relation};
+use provio_mpi::RankOutcome;
+use provio_rdf::{ns, Graph};
+
+use crate::merge::MergeReport;
+
+/// One crashed rank, as witnessed by a superstep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankCrash {
+    pub rank: u32,
+    /// The superstep phase label the rank died in.
+    pub phase: String,
+    /// The panic payload (e.g. an `ESIMCRASH` message).
+    pub cause: String,
+}
+
+/// Joined view of a run: which ranks finished, and how much of the
+/// provenance they produced survived into the merged graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Ranks the run started with.
+    pub world_size: u32,
+    /// Ranks that crashed, at most one entry per rank (the first crash
+    /// wins — a rank that dies in phase 2 stays dead in phase 3).
+    pub crashed: Vec<RankCrash>,
+    /// Sub-graphs the merge was expected to recover (typically the number
+    /// of surviving ranks, or the world size when crashed ranks' partial
+    /// stores are also salvageable).
+    pub expected_subgraphs: usize,
+    /// Sub-graph files that actually contributed triples.
+    pub recovered_subgraphs: usize,
+    /// Triples in the merged graph.
+    pub merged_triples: usize,
+    /// Triples recovered from the valid prefix of torn files.
+    pub salvaged_triples: usize,
+    /// Files from which nothing could be recovered.
+    pub corrupt_files: usize,
+}
+
+impl RunReport {
+    pub fn new(world_size: u32) -> Self {
+        RunReport {
+            world_size,
+            ..RunReport::default()
+        }
+    }
+
+    /// Fold one superstep's outcomes in. Ranks already recorded as crashed
+    /// keep their original crash site; survivors contribute nothing.
+    pub fn record_outcomes<T>(&mut self, outcomes: &[RankOutcome<T>]) {
+        for outcome in outcomes {
+            if let RankOutcome::Crashed { rank, phase, cause } = outcome {
+                if !self.crashed.iter().any(|c| c.rank == *rank) {
+                    self.crashed.push(RankCrash {
+                        rank: *rank,
+                        phase: phase.clone(),
+                        cause: cause.clone(),
+                    });
+                }
+            }
+        }
+        self.crashed.sort_by_key(|c| c.rank);
+    }
+
+    /// Attach the post-run merge: how many sub-graphs were expected, and
+    /// what the merge actually recovered.
+    pub fn attach_merge(&mut self, expected_subgraphs: usize, report: &MergeReport) {
+        self.expected_subgraphs = expected_subgraphs;
+        self.recovered_subgraphs = report.files;
+        self.merged_triples = report.triples;
+        self.salvaged_triples = report.salvaged_triples;
+        self.corrupt_files = report.corrupt.len();
+    }
+
+    /// Ranks that completed every recorded superstep.
+    pub fn surviving_ranks(&self) -> Vec<u32> {
+        let dead: BTreeSet<u32> = self.crashed.iter().map(|c| c.rank).collect();
+        (0..self.world_size).filter(|r| !dead.contains(r)).collect()
+    }
+
+    /// Fraction of expected sub-graphs recovered, in `[0, 1]`.
+    pub fn completeness(&self) -> f64 {
+        let expected = self.expected_subgraphs.max(1) as f64;
+        (self.recovered_subgraphs as f64 / expected).min(1.0)
+    }
+
+    /// True when nothing was lost: no crashes, no unrecoverable files, and
+    /// every expected sub-graph present.
+    pub fn is_complete(&self) -> bool {
+        self.crashed.is_empty()
+            && self.corrupt_files == 0
+            && self.recovered_subgraphs >= self.expected_subgraphs
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "run: {}/{} ranks survived; {}/{} sub-graphs recovered \
+             ({:.1}% complete), {} triples merged, {} salvaged, {} files lost",
+            self.world_size as usize - self.crashed.len(),
+            self.world_size,
+            self.recovered_subgraphs,
+            self.expected_subgraphs,
+            self.completeness() * 100.0,
+            self.merged_triples,
+            self.salvaged_triples,
+            self.corrupt_files,
+        )
+    }
+}
+
+/// Findings of a [`doctor`] pass over a merged graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DoctorReport {
+    /// Relation edges whose endpoint GUID has no `rdf:type` — the node the
+    /// edge points at (or leaves from) was never recovered.
+    pub orphan_relations: Vec<String>,
+    /// Activity nodes with no `prov:wasAssociatedWith` edge: an I/O API
+    /// invocation that lost its responsible agent.
+    pub unassociated_activities: Vec<Guid>,
+    /// GUIDs carrying more than one `rdf:type` — a content-address
+    /// collision or a corrupted merge.
+    pub duplicate_guids: Vec<Guid>,
+    /// Triples inspected.
+    pub checked_triples: usize,
+}
+
+impl DoctorReport {
+    pub fn is_clean(&self) -> bool {
+        self.orphan_relations.is_empty()
+            && self.unassociated_activities.is_empty()
+            && self.duplicate_guids.is_empty()
+    }
+
+    /// Total number of findings.
+    pub fn findings(&self) -> usize {
+        self.orphan_relations.len() + self.unassociated_activities.len() + self.duplicate_guids.len()
+    }
+}
+
+impl fmt::Display for DoctorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "doctor: {} triples checked, {} orphan relations, \
+             {} unassociated activities, {} duplicate GUIDs",
+            self.checked_triples,
+            self.orphan_relations.len(),
+            self.unassociated_activities.len(),
+            self.duplicate_guids.len(),
+        )
+    }
+}
+
+/// Structural consistency pass over a merged provenance graph.
+///
+/// One linear scan collects every typed GUID and every model-relation edge
+/// between GUIDs; the checks then run against those indexes. Endpoints that
+/// are not run-scoped resources (e.g. class IRIs in membership triples) are
+/// out of scope — the model owns their vocabulary, not the run.
+pub fn doctor(graph: &Graph) -> DoctorReport {
+    let mut report = DoctorReport::default();
+
+    // subject IRI -> distinct rdf:type object IRIs
+    let mut types: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    // (subject IRI, relation, object IRI) for GUID-to-GUID edges
+    let mut edges: Vec<(String, Relation, String)> = Vec::new();
+
+    for triple in graph.iter() {
+        report.checked_triples += 1;
+        let Some(subject_iri) = triple.subject.as_iri() else {
+            continue;
+        };
+        if triple.predicate.as_str() == ns::RDF_TYPE {
+            if let Some(obj) = triple.object.as_iri() {
+                types
+                    .entry(subject_iri.as_str().to_string())
+                    .or_default()
+                    .insert(obj.as_str().to_string());
+            }
+        } else if let Some(rel) = Relation::from_iri(triple.predicate.as_str()) {
+            if let Some(obj) = triple.object.as_iri() {
+                // Only GUID targets: membership edges point at class IRIs.
+                if Guid::from_iri(obj).is_some() {
+                    edges.push((
+                        subject_iri.as_str().to_string(),
+                        rel,
+                        obj.as_str().to_string(),
+                    ));
+                }
+            }
+        }
+    }
+
+    for (subject, rel, object) in &edges {
+        for endpoint in [subject, object] {
+            if !types.contains_key(endpoint) {
+                report.orphan_relations.push(format!(
+                    "{subject} --{}--> {object}: {endpoint} has no rdf:type",
+                    rel.local_name()
+                ));
+            }
+        }
+    }
+
+    let associated: BTreeSet<&String> = edges
+        .iter()
+        .filter(|(_, rel, _)| *rel == Relation::WasAssociatedWith)
+        .map(|(subject, _, _)| subject)
+        .collect();
+
+    for (subject, class_iris) in &types {
+        if class_iris.len() > 1 {
+            if let Some(guid) = Guid::from_iri(&provio_rdf::Iri::new(subject.clone())) {
+                report.duplicate_guids.push(guid);
+            }
+        }
+        let is_activity = class_iris
+            .iter()
+            .any(|iri| matches!(NodeClass::from_iri(iri), Some(NodeClass::Activity(_))));
+        if is_activity && !associated.contains(subject) {
+            if let Some(guid) = Guid::from_iri(&provio_rdf::Iri::new(subject.clone())) {
+                report.unassociated_activities.push(guid);
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provio_model::{ActivityClass, AgentClass, EntityClass};
+    use provio_rdf::{Iri, Literal, Term, Triple};
+
+    fn guid(local: &str) -> Guid {
+        Guid::from_iri(&Iri::new(format!("{}{local}", ns::RESOURCE))).unwrap()
+    }
+
+    fn typed(g: &mut Graph, node: &Guid, class: NodeClass) {
+        g.insert(&Triple::new(
+            node.to_subject(),
+            Iri::new(ns::RDF_TYPE),
+            Term::iri(class.iri()),
+        ));
+        g.insert(&Triple::new(
+            node.to_subject(),
+            Iri::new(ns::RDFS_LABEL),
+            Literal::plain(node.local().to_string()),
+        ));
+    }
+
+    fn related(g: &mut Graph, from: &Guid, rel: Relation, to: &Guid) {
+        g.insert(&Triple::new(
+            from.to_subject(),
+            Iri::new(rel.iri()),
+            Term::Iri(to.to_iri()),
+        ));
+    }
+
+    /// A minimal healthy graph: file --wasWrittenBy--> write activity
+    /// --wasAssociatedWith--> program agent.
+    fn healthy_graph() -> (Graph, Guid, Guid, Guid) {
+        let mut g = Graph::new();
+        let file = guid("File.run.out");
+        let write = guid("Write.p100.1");
+        let agent = guid("Program.demo");
+        typed(&mut g, &file, EntityClass::File.into());
+        typed(&mut g, &write, ActivityClass::Write.into());
+        typed(&mut g, &agent, AgentClass::Program.into());
+        related(&mut g, &file, Relation::WasWrittenBy, &write);
+        related(&mut g, &write, Relation::WasAssociatedWith, &agent);
+        (g, file, write, agent)
+    }
+
+    fn merge_report(files: usize, triples: usize) -> MergeReport {
+        MergeReport {
+            files,
+            triples,
+            corrupt: Vec::new(),
+            recovered: Vec::new(),
+            salvaged_triples: 0,
+        }
+    }
+
+    #[test]
+    fn crashes_dedupe_by_rank_and_first_crash_wins() {
+        let mut report = RunReport::new(8);
+        let phase_a: Vec<RankOutcome<u32>> = (0..8)
+            .map(|r| {
+                if r == 3 {
+                    RankOutcome::Crashed {
+                        rank: 3,
+                        phase: "convert".into(),
+                        cause: "ESIMCRASH: disk".into(),
+                    }
+                } else {
+                    RankOutcome::Completed(r)
+                }
+            })
+            .collect();
+        // Phase B: rank 3 "crashes" again (skipped rank re-reported) and
+        // rank 6 dies for real.
+        let phase_b: Vec<RankOutcome<u32>> = (0..8)
+            .map(|r| match r {
+                3 => RankOutcome::Crashed {
+                    rank: 3,
+                    phase: "reduce".into(),
+                    cause: "already dead".into(),
+                },
+                6 => RankOutcome::Crashed {
+                    rank: 6,
+                    phase: "reduce".into(),
+                    cause: "ESIMCRASH: node".into(),
+                },
+                r => RankOutcome::Completed(r),
+            })
+            .collect();
+
+        report.record_outcomes(&phase_a);
+        report.record_outcomes(&phase_b);
+
+        assert_eq!(report.crashed.len(), 2);
+        assert_eq!(report.crashed[0].rank, 3);
+        assert_eq!(report.crashed[0].phase, "convert"); // first crash wins
+        assert_eq!(report.crashed[1].rank, 6);
+        assert_eq!(report.surviving_ranks(), vec![0, 1, 2, 4, 5, 7]);
+    }
+
+    #[test]
+    fn completeness_joins_outcomes_with_the_merge() {
+        let mut report = RunReport::new(8);
+        report.record_outcomes(&[RankOutcome::<()>::Crashed {
+            rank: 5,
+            phase: "write".into(),
+            cause: "ESIMCRASH".into(),
+        }]);
+
+        // All 7 survivor sub-graphs recovered.
+        report.attach_merge(7, &merge_report(7, 420));
+        assert_eq!(report.completeness(), 1.0);
+        assert!(!report.is_complete()); // a rank still crashed
+        assert_eq!(report.merged_triples, 420);
+
+        // Only 6 of 8 expected recovered.
+        report.attach_merge(8, &merge_report(6, 360));
+        assert!((report.completeness() - 0.75).abs() < 1e-9);
+        assert!(!report.is_complete());
+
+        let clean = {
+            let mut r = RunReport::new(4);
+            r.attach_merge(4, &merge_report(4, 100));
+            r
+        };
+        assert!(clean.is_complete());
+        assert_eq!(clean.completeness(), 1.0);
+        let line = clean.to_string();
+        assert!(line.contains("4/4 sub-graphs"), "display: {line}");
+    }
+
+    #[test]
+    fn doctor_passes_a_healthy_graph() {
+        let (g, ..) = healthy_graph();
+        let report = doctor(&g);
+        assert!(report.is_clean(), "unexpected findings: {report:?}");
+        assert_eq!(report.checked_triples, g.len());
+        assert_eq!(report.findings(), 0);
+    }
+
+    #[test]
+    fn doctor_flags_orphans_duplicates_and_lost_agents() {
+        let (mut g, file, _write, _agent) = healthy_graph();
+
+        // 1. Orphan relation: edge to a GUID that was never recovered.
+        let ghost = guid("Dataset.ghost");
+        related(&mut g, &file, Relation::WasReadBy, &ghost);
+
+        // 2. Activity with no associated agent.
+        let lonely = guid("Read.p200.7");
+        typed(&mut g, &lonely, ActivityClass::Read.into());
+
+        // 3. GUID resolving to two classes.
+        let clash = guid("File.clash");
+        typed(&mut g, &clash, EntityClass::File.into());
+        typed(&mut g, &clash, EntityClass::Dataset.into());
+
+        let report = doctor(&g);
+        assert!(!report.is_clean());
+        assert_eq!(report.orphan_relations.len(), 1);
+        assert!(report.orphan_relations[0].contains("wasReadBy"));
+        assert!(report.orphan_relations[0].contains("Dataset.ghost"));
+        assert_eq!(report.unassociated_activities, vec![lonely]);
+        assert_eq!(report.duplicate_guids, vec![clash]);
+        assert_eq!(report.findings(), 3);
+    }
+
+    #[test]
+    fn doctor_ignores_non_resource_edge_targets() {
+        // Membership-style edges point at class IRIs, not GUIDs; they must
+        // not be reported as orphans.
+        let (mut g, _file, write, _agent) = healthy_graph();
+        g.insert(&Triple::new(
+            write.to_subject(),
+            Iri::new(Relation::WasMemberOf.iri()),
+            Term::iri(format!("{}Activity", ns::PROV)),
+        ));
+        assert!(doctor(&g).is_clean());
+    }
+}

@@ -54,8 +54,25 @@
 //! the last error is surfaced through the tracker summary instead of being
 //! silently reported as zero stored bytes. A fired crash point kills the
 //! writer for good; whatever the crash tore is salvaged at merge time.
+//!
+//! # Backpressure and the circuit breaker
+//!
+//! The async intake queue is **bounded** ([`ProvenanceStore::with_queue`]):
+//! when a producer outruns the writer pool, the store either blocks the
+//! pushing rank until the writers catch up ([`OverloadPolicy::Block`], the
+//! default — provenance-complete, workflow pays) or sheds the batch and
+//! counts it ([`OverloadPolicy::Shed`] — workflow never stalls, loss is
+//! reported in `TrackSummary`). Memory stays bounded either way.
+//!
+//! A **circuit breaker** ([`ProvenanceStore::with_breaker`]) stops a store
+//! from hammering a persistently failing backend: after `threshold`
+//! consecutive flush failures it opens and periodic flushes are *skipped*
+//! (counted, and harmless — unflushed triples stay above the watermark).
+//! After a backoff interval on the virtual clock the breaker half-opens and
+//! lets one probe flush through; success closes it, failure re-opens it.
+//! `finish` always attempts the final snapshot regardless of breaker state.
 
-use crate::config::{RdfFormat, RetryPolicy};
+use crate::config::{OverloadPolicy, RdfFormat, RetryPolicy};
 use parking_lot::{Condvar, Mutex};
 use provio_hpcfs::{FileSystem, FsError};
 use provio_rdf::{ntriples, turtle, Graph, Namespaces, Term, TermId, Triple};
@@ -75,13 +92,19 @@ mod pool {
 
     pub type Job = Box<dyn FnOnce() + Send>;
 
+    /// Size of the shared pool (also how many jobs a test must park to
+    /// deterministically wedge every worker).
+    pub fn workers() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get().clamp(2, 8))
+            .unwrap_or(2)
+    }
+
     fn sender() -> &'static Sender<Job> {
         static TX: OnceLock<Sender<Job>> = OnceLock::new();
         TX.get_or_init(|| {
             let (tx, rx) = unbounded::<Job>();
-            let workers = std::thread::available_parallelism()
-                .map(|n| n.get().clamp(2, 8))
-                .unwrap_or(2);
+            let workers = workers();
             for i in 0..workers {
                 let rx = rx.clone();
                 std::thread::Builder::new()
@@ -103,38 +126,128 @@ mod pool {
     }
 }
 
-/// Outstanding background jobs, with a real wait instead of a spin loop.
+/// Outstanding-job counters for the bounded intake queue.
+#[derive(Default)]
+struct QueueCounts {
+    /// All outstanding background jobs (push batches + flushes).
+    in_flight: u64,
+    /// Outstanding push batches only — the quantity the capacity bounds.
+    queued_pushes: u64,
+    shed_batches: u64,
+    shed_triples: u64,
+}
+
+/// Outstanding background jobs, with a real wait instead of a spin loop,
+/// plus the bounded-queue admission control. Capacity governs *push
+/// batches*; flush jobs (a handful, issued by the store itself) are always
+/// admitted so backpressure can never wedge a drain.
 struct InFlight {
-    count: Mutex<u64>,
+    counts: Mutex<QueueCounts>,
     zero: Condvar,
+    below: Condvar,
 }
 
 impl InFlight {
     fn new() -> Self {
         InFlight {
-            count: Mutex::new(0),
+            counts: Mutex::new(QueueCounts::default()),
             zero: Condvar::new(),
+            below: Condvar::new(),
         }
     }
 
-    fn inc(&self) {
-        *self.count.lock() += 1;
+    /// Admit one push batch of `triples` triples under the store's queue
+    /// bound. Returns `false` when the batch was shed instead.
+    fn admit_push(&self, capacity: u64, policy: OverloadPolicy, triples: u64) -> bool {
+        let mut c = self.counts.lock();
+        if capacity > 0 && c.queued_pushes >= capacity {
+            match policy {
+                OverloadPolicy::Block => {
+                    while c.queued_pushes >= capacity {
+                        self.below.wait(&mut c);
+                    }
+                }
+                OverloadPolicy::Shed => {
+                    c.shed_batches += 1;
+                    c.shed_triples += triples;
+                    return false;
+                }
+            }
+        }
+        c.queued_pushes += 1;
+        c.in_flight += 1;
+        true
     }
 
-    fn dec(&self) {
-        let mut c = self.count.lock();
-        *c -= 1;
-        if *c == 0 {
+    fn admit_flush(&self) {
+        self.counts.lock().in_flight += 1;
+    }
+
+    fn done(&self, was_push: bool) {
+        let mut c = self.counts.lock();
+        if was_push {
+            c.queued_pushes -= 1;
+            self.below.notify_one();
+        }
+        c.in_flight -= 1;
+        if c.in_flight == 0 {
             self.zero.notify_all();
         }
     }
 
     fn wait_zero(&self) {
-        let mut c = self.count.lock();
-        while *c != 0 {
+        let mut c = self.counts.lock();
+        while c.in_flight != 0 {
             self.zero.wait(&mut c);
         }
     }
+
+    fn depth(&self) -> u64 {
+        self.counts.lock().queued_pushes
+    }
+
+    fn shed(&self) -> (u64, u64) {
+        let c = self.counts.lock();
+        (c.shed_batches, c.shed_triples)
+    }
+}
+
+/// Externally visible circuit-breaker state (surfaced via
+/// [`ProvenanceStore::breaker_state`] and `TrackSummary`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Flushes flow normally.
+    Closed,
+    /// Tripped: periodic flushes are skipped until the backoff elapses.
+    Open,
+    /// Backoff elapsed: the next flush is a probe — success closes the
+    /// breaker, failure re-opens it.
+    HalfOpen,
+}
+
+impl BreakerState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Internal breaker state: `Open` remembers when the backoff elapses on the
+/// virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    Closed,
+    Open { until: SimTime },
+    HalfOpen,
 }
 
 /// The in-memory sub-graph plus the serialization high-water mark: how many
@@ -174,6 +287,18 @@ struct IoState {
     deltas_since_snapshot: u32,
     /// A full snapshot exists at the committed path.
     snapshot_done: bool,
+    /// Circuit breaker over the flush path. `breaker_threshold == 0`
+    /// disables it (the default for bare stores).
+    breaker: Breaker,
+    breaker_threshold: u32,
+    breaker_backoff_ns: u64,
+    consecutive_failures: u32,
+    breaker_trips: u64,
+    breaker_skipped: u64,
+    /// Time source for breaker backoff when a flush carries no charge
+    /// clock (async flushes): the owning rank's clock, if wired via
+    /// [`ProvenanceStore::with_clock`].
+    clock: Option<VirtualClock>,
 }
 
 fn seg_path(path: &str, seq: u64) -> String {
@@ -181,6 +306,71 @@ fn seg_path(path: &str, seq: u64) -> String {
 }
 
 impl IoState {
+    /// The breaker's notion of "now": the charge clock if the flush carries
+    /// one, else the owning rank's wired clock, else the epoch (which makes
+    /// an un-clocked open breaker effectively permanent until `finish`).
+    fn now(&self, charge: Option<&VirtualClock>) -> SimTime {
+        charge
+            .or(self.clock.as_ref())
+            .map(VirtualClock::now)
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Record a successful commit: any breaker state collapses to closed.
+    fn breaker_note_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.breaker = Breaker::Closed;
+    }
+
+    /// Record a terminally failed commit, tripping or re-arming the breaker.
+    fn breaker_note_failure(&mut self, now: SimTime) {
+        if self.breaker_threshold == 0 {
+            return;
+        }
+        self.consecutive_failures += 1;
+        let reopen = SimDuration::from_nanos(self.breaker_backoff_ns);
+        match self.breaker {
+            Breaker::Closed => {
+                if self.consecutive_failures >= self.breaker_threshold {
+                    self.breaker = Breaker::Open { until: now + reopen };
+                    self.breaker_trips += 1;
+                }
+            }
+            // A failed half-open probe re-opens for another backoff.
+            Breaker::HalfOpen => {
+                self.breaker = Breaker::Open { until: now + reopen };
+                self.breaker_trips += 1;
+            }
+            // A bypassing flush (finish) failed while open: push the
+            // reopen horizon out, but that's not a new trip.
+            Breaker::Open { .. } => {
+                self.breaker = Breaker::Open { until: now + reopen };
+            }
+        }
+    }
+
+    /// Gate for periodic flushes. An open breaker whose backoff has not
+    /// elapsed rejects the flush; one whose backoff has elapsed half-opens
+    /// and admits it as the probe.
+    fn breaker_allows(&mut self, now: SimTime) -> bool {
+        match self.breaker {
+            Breaker::Open { until } if now < until => false,
+            Breaker::Open { .. } => {
+                self.breaker = Breaker::HalfOpen;
+                true
+            }
+            _ => true,
+        }
+    }
+
+    fn breaker_state(&self) -> BreakerState {
+        match self.breaker {
+            Breaker::Closed => BreakerState::Closed,
+            Breaker::Open { .. } => BreakerState::Open,
+            Breaker::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+
     /// One crash-consistent commit attempt: write everything to `tmp`, then
     /// atomically rename it over `dst`.
     fn try_commit(&self, tmp: &str, dst: &str, bytes: &[u8]) -> Result<(), FsError> {
@@ -205,6 +395,7 @@ impl IoState {
             match self.try_commit(tmp, dst, bytes) {
                 Ok(()) => {
                     self.degraded = false;
+                    self.breaker_note_success();
                     return true;
                 }
                 Err(FsError::Crashed) => {
@@ -229,6 +420,8 @@ impl IoState {
                     }
                     self.degraded = true;
                     self.dropped_flushes += 1;
+                    let now = self.now(charge);
+                    self.breaker_note_failure(now);
                     return false;
                 }
             }
@@ -326,10 +519,18 @@ impl Inner {
     }
 
     /// Periodic flush: snapshot first, deltas after (legacy mode always
-    /// snapshots). Returns committed bytes or 0 for a dropped/empty flush.
+    /// snapshots). Returns committed bytes or 0 for a dropped/empty/
+    /// breaker-skipped flush.
     fn flush_now(&self, io: &mut IoState, charge: Option<&VirtualClock>) -> u64 {
         if io.crashed {
             io.dropped_flushes += 1;
+            return 0;
+        }
+        let now = io.now(charge);
+        if !io.breaker_allows(now) {
+            // Skipped, not dropped: the unflushed triples stay above the
+            // watermark and land with the next admitted flush.
+            io.breaker_skipped += 1;
             return 0;
         }
         if io.delta && io.snapshot_done {
@@ -339,7 +540,8 @@ impl Inner {
         }
     }
 
-    /// Final flush: always compacts to a single snapshot.
+    /// Final flush: always compacts to a single snapshot. Bypasses an open
+    /// breaker — this is the run's last chance to persist.
     fn finish_now(&self, io: &mut IoState, charge: Option<&VirtualClock>) -> u64 {
         if io.crashed {
             io.dropped_flushes += 1;
@@ -355,6 +557,10 @@ pub struct ProvenanceStore {
     /// Background jobs submitted but not yet completed.
     in_flight: Arc<InFlight>,
     async_store: bool,
+    /// Intake-queue bound in push batches (0 = unbounded) and the policy
+    /// applied when it fills. Only meaningful in async mode.
+    queue_capacity: u64,
+    overload: OverloadPolicy,
     fs: Arc<FileSystem>,
     path: String,
     triples_pushed: AtomicU64,
@@ -393,6 +599,13 @@ impl ProvenanceStore {
             next_seg: 0,
             deltas_since_snapshot: 0,
             snapshot_done: false,
+            breaker: Breaker::Closed,
+            breaker_threshold: 0,
+            breaker_backoff_ns: 0,
+            consecutive_failures: 0,
+            breaker_trips: 0,
+            breaker_skipped: 0,
+            clock: None,
         };
         ProvenanceStore {
             inner: Arc::new(Inner {
@@ -404,6 +617,8 @@ impl ProvenanceStore {
             }),
             in_flight: Arc::new(InFlight::new()),
             async_store,
+            queue_capacity: 0,
+            overload: OverloadPolicy::Block,
             fs,
             path,
             triples_pushed: AtomicU64::new(0),
@@ -429,6 +644,33 @@ impl ProvenanceStore {
         self
     }
 
+    /// Bound the async intake queue at `capacity` push batches (0 =
+    /// unbounded) and pick what a full queue does to the producer.
+    pub fn with_queue(mut self, capacity: u64, policy: OverloadPolicy) -> Self {
+        self.queue_capacity = capacity;
+        self.overload = policy;
+        self
+    }
+
+    /// Arm the circuit breaker: trip after `threshold` consecutive flush
+    /// failures (0 disables, the default), half-open probe after
+    /// `backoff_ns` virtual nanoseconds.
+    pub fn with_breaker(self, threshold: u32, backoff_ns: u64) -> Self {
+        {
+            let mut io = self.inner.io.lock();
+            io.breaker_threshold = threshold;
+            io.breaker_backoff_ns = backoff_ns;
+        }
+        self
+    }
+
+    /// Wire the owning rank's virtual clock as the breaker's time source
+    /// for flushes that carry no charge clock (all async flushes).
+    pub fn with_clock(self, clock: VirtualClock) -> Self {
+        self.inner.io.lock().clock = Some(clock);
+        self
+    }
+
     /// The store file's path on the parallel file system.
     pub fn path(&self) -> &str {
         &self.path
@@ -436,18 +678,26 @@ impl ProvenanceStore {
 
     /// Hand a batch of triples to the store.
     ///
-    /// Async mode: enqueue to the shared pool. Sync mode: insert on the
-    /// caller's time (pass the issuing process's clock so the cost lands on
-    /// the workflow — exactly the ablation's point). Either way only the
-    /// state lock is taken, so a concurrent flush doing file I/O never
-    /// stalls a push.
+    /// Async mode: enqueue to the shared pool, subject to the bounded
+    /// intake queue — a full queue blocks the caller or sheds the batch
+    /// depending on [`Self::with_queue`]. Sync mode: insert on the caller's
+    /// time (pass the issuing process's clock so the cost lands on the
+    /// workflow — exactly the ablation's point). Either way only the state
+    /// lock is taken, so a concurrent flush doing file I/O never stalls a
+    /// push. `triples_pushed` counts every batch *offered*, shed or not;
+    /// [`Self::shed_triples`] says how many of those never landed.
     pub fn push(&self, triples: Vec<Triple>, charge: Option<&VirtualClock>) {
         self.triples_pushed
             .fetch_add(triples.len() as u64, Ordering::Relaxed);
         if self.async_store {
+            if !self
+                .in_flight
+                .admit_push(self.queue_capacity, self.overload, triples.len() as u64)
+            {
+                return; // shed under overload, counted in the queue stats
+            }
             let inner = Arc::clone(&self.inner);
             let in_flight = Arc::clone(&self.in_flight);
-            in_flight.inc();
             pool::submit(Box::new(move || {
                 {
                     let mut st = inner.state.lock();
@@ -455,7 +705,7 @@ impl ProvenanceStore {
                         st.graph.insert(t);
                     }
                 }
-                in_flight.dec();
+                in_flight.done(true);
             }));
         } else {
             let _guard = charge.map(ChargeGuard::new);
@@ -479,12 +729,12 @@ impl ProvenanceStore {
         if self.async_store {
             let inner = Arc::clone(&self.inner);
             let in_flight = Arc::clone(&self.in_flight);
-            in_flight.inc();
+            in_flight.admit_flush();
             pool::submit(Box::new(move || {
                 let mut io = inner.io.lock();
                 inner.flush_now(&mut io, None);
                 drop(io);
-                in_flight.dec();
+                in_flight.done(false);
             }));
         } else {
             let _guard = charge.map(ChargeGuard::new);
@@ -536,9 +786,41 @@ impl ProvenanceStore {
         self.inner.io.lock().segments.len()
     }
 
-    /// Triples pushed so far (pre-dedup).
+    /// Triples pushed so far (pre-dedup, including shed batches).
     pub fn triples_pushed(&self) -> u64 {
         self.triples_pushed.load(Ordering::Relaxed)
+    }
+
+    /// Push batches currently waiting in the async intake queue. Never
+    /// exceeds the configured capacity.
+    pub fn queue_depth(&self) -> u64 {
+        self.in_flight.depth()
+    }
+
+    /// Batches dropped by the `Shed` overload policy.
+    pub fn shed_batches(&self) -> u64 {
+        self.in_flight.shed().0
+    }
+
+    /// Triples inside those shed batches.
+    pub fn shed_triples(&self) -> u64 {
+        self.in_flight.shed().1
+    }
+
+    /// Current circuit-breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.inner.io.lock().breaker_state()
+    }
+
+    /// Times the breaker tripped open (including failed half-open probes).
+    pub fn breaker_trips(&self) -> u64 {
+        self.inner.io.lock().breaker_trips
+    }
+
+    /// Periodic flushes skipped because the breaker was open. Skipped is
+    /// not lost: the triples stay above the watermark.
+    pub fn breaker_skipped(&self) -> u64 {
+        self.inner.io.lock().breaker_skipped
     }
 }
 
@@ -932,5 +1214,218 @@ mod tests {
         let ino = fs.lookup(path).unwrap();
         let size = fs.stat(path).unwrap().size;
         fs.read_at(ino, 0, size).unwrap().to_vec()
+    }
+
+    // ---- bounded queue -------------------------------------------------
+
+    /// Parks every shared-pool worker until released, so push batches pile
+    /// up in the intake queue deterministically. Tests that gate the pool
+    /// must serialize on [`pool_gate_lock`], or two gates fight over the
+    /// same workers and deadlock each other.
+    struct Gate {
+        /// (workers currently parked, released)
+        state: Mutex<(usize, bool)>,
+        cv: Condvar,
+    }
+
+    impl Gate {
+        fn block_all_workers() -> Arc<Gate> {
+            let gate = Arc::new(Gate {
+                state: Mutex::new((0, false)),
+                cv: Condvar::new(),
+            });
+            let n = pool::workers();
+            for _ in 0..n {
+                let g = Arc::clone(&gate);
+                pool::submit(Box::new(move || {
+                    let mut st = g.state.lock();
+                    st.0 += 1;
+                    g.cv.notify_all();
+                    while !st.1 {
+                        g.cv.wait(&mut st);
+                    }
+                }));
+            }
+            // Wait until every worker is provably parked.
+            let mut st = gate.state.lock();
+            while st.0 < n {
+                gate.cv.wait(&mut st);
+            }
+            drop(st);
+            gate
+        }
+
+        fn release(&self) {
+            let mut st = self.state.lock();
+            st.1 = true;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Releases the gate even if the test panics, so a failing assertion
+    /// can't wedge the shared pool for the rest of the suite.
+    struct GateGuard(Arc<Gate>);
+    impl Drop for GateGuard {
+        fn drop(&mut self) {
+            self.0.release();
+        }
+    }
+
+    fn pool_gate_lock() -> &'static Mutex<()> {
+        static LOCK: std::sync::OnceLock<Mutex<()>> = std::sync::OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+    }
+
+    #[test]
+    fn shed_policy_bounds_queue_and_counts_losses() {
+        let _serial = pool_gate_lock().lock();
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/qs.nt", RdfFormat::NTriples, true)
+            .with_queue(4, OverloadPolicy::Shed);
+        let gate = GateGuard(Gate::block_all_workers());
+        // Four batches fill the queue; three more are shed, two triples each.
+        for i in 0..4u64 {
+            st.push(triples_from(i as usize * 10, 2), None);
+        }
+        assert_eq!(st.queue_depth(), 4, "queue at capacity");
+        for i in 4..7u64 {
+            st.push(triples_from(i as usize * 10, 2), None);
+        }
+        assert_eq!(st.queue_depth(), 4, "queue never exceeds capacity");
+        assert_eq!(st.shed_batches(), 3);
+        assert_eq!(st.shed_triples(), 6);
+        assert_eq!(st.triples_pushed(), 14, "offered count includes shed");
+        gate.0.release();
+        let bytes = st.finish(None);
+        assert!(bytes > 0);
+        assert_eq!(st.queue_depth(), 0);
+        let text = String::from_utf8(fs_read(&fs, "/prov/qs.nt")).unwrap();
+        let g = ntriples::parse(&text).unwrap();
+        assert_eq!(g.len(), 8, "admitted batches land, shed batches do not");
+    }
+
+    #[test]
+    fn block_policy_stalls_producer_until_writers_catch_up() {
+        let _serial = pool_gate_lock().lock();
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = Arc::new(
+            ProvenanceStore::new(Arc::clone(&fs), "/prov/qb.nt", RdfFormat::NTriples, true)
+                .with_queue(1, OverloadPolicy::Block),
+        );
+        let gate = GateGuard(Gate::block_all_workers());
+        st.push(triples_from(0, 1), None); // fills the queue
+        assert_eq!(st.queue_depth(), 1);
+        let st2 = Arc::clone(&st);
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        let producer = std::thread::spawn(move || {
+            st2.push(triples_from(10, 1), None); // must block: queue is full
+            done2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(
+            !done.load(Ordering::SeqCst),
+            "producer blocked by backpressure while the queue is full"
+        );
+        assert_eq!(st.queue_depth(), 1, "capacity respected while blocked");
+        gate.0.release();
+        producer.join().unwrap();
+        assert!(done.load(Ordering::SeqCst));
+        assert!(st.finish(None) > 0);
+        assert_eq!(st.shed_batches(), 0, "block policy sheds nothing");
+        let text = String::from_utf8(fs_read(&fs, "/prov/qb.nt")).unwrap();
+        assert_eq!(ntriples::parse(&text).unwrap().len(), 2, "both batches land");
+    }
+
+    // ---- circuit breaker -----------------------------------------------
+
+    #[test]
+    fn breaker_trips_skips_and_recovers_via_half_open_probe() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let plan = FaultPlan::new(31);
+        plan.add_rule(FaultRule::fail(FaultOp::WriteAt, FsError::Io).on_path("cb.nt.tmp"));
+        fs.install_faults(Arc::clone(&plan));
+        let clock = VirtualClock::new();
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/cb.nt", RdfFormat::NTriples, false)
+            .with_retry(RetryPolicy {
+                max_attempts: 1,
+                backoff_ns: 0,
+            })
+            .with_breaker(2, 1_000)
+            .with_clock(clock.clone());
+        st.push(triples(5), None);
+        st.flush(None); // failure 1 of 2: still closed
+        assert_eq!(st.breaker_state(), BreakerState::Closed);
+        st.flush(None); // failure 2 of 2: trips
+        assert_eq!(st.breaker_state(), BreakerState::Open);
+        assert_eq!(st.breaker_trips(), 1);
+        assert_eq!(plan.injected(), 2);
+        // Open breaker: flushes are skipped, the backend is left alone.
+        st.flush(None);
+        st.flush(None);
+        assert_eq!(st.breaker_skipped(), 2);
+        assert_eq!(plan.injected(), 2, "no write attempted while open");
+        // Backoff elapses on the virtual clock; the backend heals; the
+        // half-open probe succeeds and closes the breaker.
+        clock.advance(SimDuration::from_nanos(2_000));
+        fs.clear_faults();
+        st.flush(None);
+        assert_eq!(st.breaker_state(), BreakerState::Closed);
+        assert!(!st.degraded());
+        // Nothing was lost across trip/skip/recovery.
+        let text = String::from_utf8(fs_read(&fs, "/prov/cb.nt")).unwrap();
+        assert_eq!(ntriples::parse(&text).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn failed_half_open_probe_reopens_breaker() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let plan = FaultPlan::new(32);
+        plan.add_rule(FaultRule::fail(FaultOp::WriteAt, FsError::Io).on_path("cr.nt.tmp"));
+        fs.install_faults(Arc::clone(&plan));
+        let clock = VirtualClock::new();
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/cr.nt", RdfFormat::NTriples, false)
+            .with_retry(RetryPolicy {
+                max_attempts: 1,
+                backoff_ns: 0,
+            })
+            .with_breaker(1, 1_000)
+            .with_clock(clock.clone());
+        st.push(triples(3), None);
+        st.flush(None); // trips immediately (threshold 1)
+        assert_eq!(st.breaker_state(), BreakerState::Open);
+        assert_eq!(st.breaker_trips(), 1);
+        clock.advance(SimDuration::from_nanos(1_500));
+        st.flush(None); // half-open probe, still failing → reopens
+        assert_eq!(st.breaker_state(), BreakerState::Open);
+        assert_eq!(st.breaker_trips(), 2, "failed probe counts as a trip");
+        // And the new backoff window is honored.
+        st.flush(None);
+        assert_eq!(st.breaker_skipped(), 1);
+    }
+
+    #[test]
+    fn finish_bypasses_open_breaker() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let plan = FaultPlan::new(33);
+        plan.add_rule(FaultRule::fail(FaultOp::WriteAt, FsError::Io).on_path("cf.nt.tmp"));
+        fs.install_faults(plan);
+        let clock = VirtualClock::new();
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/cf.nt", RdfFormat::NTriples, false)
+            .with_retry(RetryPolicy {
+                max_attempts: 1,
+                backoff_ns: 0,
+            })
+            .with_breaker(1, u64::MAX / 2)
+            .with_clock(clock.clone());
+        st.push(triples(4), None);
+        st.flush(None); // trips; backoff effectively forever
+        assert_eq!(st.breaker_state(), BreakerState::Open);
+        fs.clear_faults();
+        // finish is the run's last chance: it ignores the open breaker.
+        assert!(st.finish(None) > 0);
+        assert_eq!(st.breaker_state(), BreakerState::Closed);
+        let text = String::from_utf8(fs_read(&fs, "/prov/cf.nt")).unwrap();
+        assert_eq!(ntriples::parse(&text).unwrap().len(), 4);
     }
 }

@@ -102,6 +102,18 @@ pub struct TrackSummary {
     pub last_error: Option<String>,
     /// Store flushes dropped over the tracker's lifetime.
     pub dropped_flushes: u64,
+    /// Push batches dropped by the `Shed` overload policy.
+    pub shed_batches: u64,
+    /// Triples inside those shed batches (honest loss accounting:
+    /// `triples` counts everything offered, this says what never landed).
+    pub shed_triples: u64,
+    /// Times the store's circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Periodic flushes skipped while the breaker was open (skipped, not
+    /// lost — the triples stayed buffered above the watermark).
+    pub breaker_skipped: u64,
+    /// Final breaker state: `"closed"`, `"open"`, or `"half-open"`.
+    pub breaker_state: String,
 }
 
 /// Per-process provenance capture state.
@@ -114,6 +126,9 @@ pub struct ProvTracker {
     thread_guid: Guid,
     state: Mutex<TrackState>,
     events: std::sync::atomic::AtomicU64,
+    /// Cached result of the first `finish()` call, making later calls
+    /// idempotent (no re-flush, no double counting).
+    finished: Mutex<Option<TrackSummary>>,
 }
 
 #[derive(Default)]
@@ -154,7 +169,10 @@ impl ProvTracker {
         );
         let store = ProvenanceStore::new(fs, store_path, config.format, config.async_store)
             .with_retry(config.retry)
-            .with_delta(config.delta_segments, config.compact_every);
+            .with_delta(config.delta_segments, config.compact_every)
+            .with_queue(config.queue_capacity, config.overload)
+            .with_breaker(config.breaker_threshold, config.breaker_backoff_ns)
+            .with_clock(clock.clone());
         let program_guid = GuidGen::agent("Program", program);
         let thread_guid = GuidGen::agent("Thread", &format!("{program}-rank{pid}"));
         let tracker = Arc::new(ProvTracker {
@@ -166,6 +184,7 @@ impl ProvTracker {
             thread_guid,
             state: Mutex::new(TrackState::default()),
             events: std::sync::atomic::AtomicU64::new(0),
+            finished: Mutex::new(None),
         });
         tracker.record_agents(user, program, pid);
         tracker
@@ -483,7 +502,15 @@ impl ProvTracker {
     }
 
     /// Finalize: drain pending triples, flush the store, return a summary.
+    ///
+    /// Idempotent: the first call does the work, later calls (a registry
+    /// sweep after an explicit per-rank finish, a double `finish_all`)
+    /// return the cached summary without re-flushing or double-counting.
     pub fn finish(&self) -> TrackSummary {
+        let mut finished = self.finished.lock();
+        if let Some(summary) = finished.as_ref() {
+            return summary.clone();
+        }
         let drained = {
             let mut st = self.state.lock();
             if let Some((_, value)) = st.last_metric.take() {
@@ -508,7 +535,7 @@ impl ProvTracker {
             Some(&self.clock)
         });
         let st = self.state.lock();
-        TrackSummary {
+        let summary = TrackSummary {
             events: self.event_count(),
             triples: st.triples_total,
             store_bytes,
@@ -516,7 +543,14 @@ impl ProvTracker {
             degraded: self.store.degraded(),
             last_error: self.store.last_error().map(|e| e.errno_name().to_string()),
             dropped_flushes: self.store.dropped_flushes(),
-        }
+            shed_batches: self.store.shed_batches(),
+            shed_triples: self.store.shed_triples(),
+            breaker_trips: self.store.breaker_trips(),
+            breaker_skipped: self.store.breaker_skipped(),
+            breaker_state: self.store.breaker_state().as_str().to_string(),
+        };
+        *finished = Some(summary.clone());
+        summary
     }
 }
 
@@ -561,6 +595,8 @@ impl TrackerRegistry {
     }
 
     /// Finish every registered tracker, returning per-pid summaries.
+    /// Idempotent, because [`ProvTracker::finish`] is: a second sweep
+    /// returns the same cached summaries.
     pub fn finish_all(&self) -> Vec<(u32, TrackSummary)> {
         let trackers: Vec<(u32, Arc<ProvTracker>)> = {
             let map = self.trackers.lock();
@@ -831,6 +867,96 @@ mod tests {
         assert!(summaries.iter().all(|(_, s)| s.events == 1));
         // Each process wrote its own sub-graph file.
         assert_eq!(fs.walk_files("/provio").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let fs = fs();
+        let t = ProvTracker::new(
+            ProvIoConfig::default().shared(),
+            Arc::clone(&fs),
+            20,
+            "B",
+            "p",
+            VirtualClock::new(),
+        );
+        t.track_io(&event(
+            ActivityClass::Write,
+            "write",
+            Some(ObjectDesc::posix(EntityClass::File, "/a")),
+        ));
+        let first = t.finish();
+        assert_eq!(first.events, 1);
+        // A straggler event after finish must not leak into the summary:
+        // the second call returns the cached result, bit for bit.
+        t.track_io(&event(
+            ActivityClass::Read,
+            "read",
+            Some(ObjectDesc::posix(EntityClass::File, "/a")),
+        ));
+        let second = t.finish();
+        assert_eq!(first, second, "second finish returns the cached summary");
+        assert_eq!(second.events, 1, "straggler not double-counted");
+    }
+
+    #[test]
+    fn finish_all_is_idempotent() {
+        let fs = fs();
+        let reg = TrackerRegistry::new();
+        for pid in 0..2 {
+            let cfg = ProvIoConfig::default().shared();
+            let t = ProvTracker::new(cfg, Arc::clone(&fs), pid, "B", "p", VirtualClock::new());
+            t.track_io(&event(ActivityClass::Read, "read", None));
+            reg.register(pid, t);
+        }
+        let first = reg.finish_all();
+        let second = reg.finish_all();
+        assert_eq!(first, second, "a second sweep re-reports, never re-flushes");
+    }
+
+    #[test]
+    fn summary_reports_breaker_and_shed_stats() {
+        use crate::config::RetryPolicy;
+        use provio_hpcfs::{FaultOp, FaultPlan, FaultRule, FsError};
+
+        // Healthy run: quiet stats.
+        let fs0 = fs();
+        let t0 = ProvTracker::new(
+            ProvIoConfig::default().shared(),
+            Arc::clone(&fs0),
+            21,
+            "B",
+            "p",
+            VirtualClock::new(),
+        );
+        let s0 = t0.finish();
+        assert_eq!(s0.breaker_state, "closed");
+        assert_eq!(s0.breaker_trips, 0);
+        assert_eq!(s0.shed_batches, 0);
+        assert_eq!(s0.shed_triples, 0);
+
+        // Persistently failing store with the breaker armed: the summary
+        // says so instead of reporting a silent zero.
+        let fs1 = fs();
+        let plan = FaultPlan::new(41);
+        plan.add_rule(FaultRule::fail(FaultOp::WriteAt, FsError::Io).on_path("/provbrk/"));
+        fs1.install_faults(plan);
+        let cfg = ProvIoConfig::default()
+            .with_store_dir("/provbrk")
+            .synchronous()
+            .with_policy(SerializationPolicy::EveryRecords(1))
+            .with_retry(RetryPolicy {
+                max_attempts: 1,
+                backoff_ns: 0,
+            })
+            .with_breaker(1, 1_000_000)
+            .shared();
+        let t1 = ProvTracker::new(cfg, Arc::clone(&fs1), 22, "B", "p", VirtualClock::new());
+        t1.track_io(&event(ActivityClass::Read, "read", None));
+        let s1 = t1.finish();
+        assert!(s1.degraded);
+        assert!(s1.breaker_trips >= 1, "breaker tripped on the failing store");
+        assert_eq!(s1.breaker_state, "open");
     }
 
     #[test]

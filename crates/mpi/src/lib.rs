@@ -12,6 +12,10 @@
 //! * [`MpiWorld::allreduce_max`] / [`MpiWorld::allreduce_sum`] /
 //!   [`MpiWorld::broadcast`] combine values
 //!   across ranks between supersteps and charge a log₂(P) tree cost.
+//! * A panic in one rank's closure (e.g. an injected `ESIMCRASH`) is
+//!   contained: that rank reports [`RankOutcome::Crashed`] while the
+//!   survivors run to the barrier, so a run can lose ranks without losing
+//!   the run.
 //!
 //! This phased (bulk-synchronous) model is a substitution for full
 //! message-passing (DESIGN.md §3): the three evaluated workflows are
@@ -22,4 +26,4 @@ pub mod collectives;
 pub mod world;
 
 pub use collectives::CommModel;
-pub use world::{MpiWorld, RankCtx};
+pub use world::{MpiWorld, RankCtx, RankOutcome};

@@ -1,8 +1,58 @@
 //! The rank executor.
 
 use crate::collectives::CommModel;
-use provio_simrt::{SimDuration, SimTime, VirtualClock};
+use provio_simrt::{catch_quiet, SimDuration, SimTime, VirtualClock};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What happened to one rank during a superstep.
+///
+/// A rank "crashes" when its closure panics — an injected `ESIMCRASH` from
+/// the fault plan surfacing through `FsSession`, a poisoned input, a bug.
+/// The crash is contained to the rank: the other ranks keep running to the
+/// barrier, and the caller gets the full picture indexed by rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankOutcome<T> {
+    /// The rank's closure ran to completion and returned a value.
+    Completed(T),
+    /// The rank died mid-superstep.
+    Crashed {
+        /// Which rank died.
+        rank: u32,
+        /// Label of the superstep it died in (from
+        /// [`MpiWorld::superstep_named`], or `step-N` for unnamed steps).
+        phase: String,
+        /// The panic payload, rendered as a string (an `ESIMCRASH` fault
+        /// surfaces its errno name here).
+        cause: String,
+    },
+}
+
+impl<T> RankOutcome<T> {
+    /// The completed value, if any.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            RankOutcome::Completed(v) => Some(v),
+            RankOutcome::Crashed { .. } => None,
+        }
+    }
+
+    /// Borrowing variant of [`completed`](Self::completed).
+    pub fn as_completed(&self) -> Option<&T> {
+        match self {
+            RankOutcome::Completed(v) => Some(v),
+            RankOutcome::Crashed { .. } => None,
+        }
+    }
+
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RankOutcome::Completed(_))
+    }
+
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, RankOutcome::Crashed { .. })
+    }
+}
 
 /// Per-rank context handed to superstep closures.
 pub struct RankCtx<'a> {
@@ -27,6 +77,7 @@ impl RankCtx<'_> {
 pub struct MpiWorld {
     clocks: Vec<VirtualClock>,
     comm: CommModel,
+    steps: AtomicU64,
 }
 
 impl MpiWorld {
@@ -39,6 +90,7 @@ impl MpiWorld {
         MpiWorld {
             clocks: (0..size).map(|_| VirtualClock::new()).collect(),
             comm,
+            steps: AtomicU64::new(0),
         }
     }
 
@@ -50,43 +102,66 @@ impl MpiWorld {
         &self.clocks[rank as usize]
     }
 
-    /// Run `f` once per rank, in parallel, then barrier. Results are
+    /// Run `f` once per rank, in parallel, then barrier. Outcomes are
     /// returned indexed by rank.
     ///
     /// Ranks are multiplexed over the host's cores by rayon; each rank's
     /// modeled time accrues on its own clock, so any number of virtual ranks
     /// (the paper uses up to 4096) runs on a laptop.
-    pub fn superstep<T: Send>(&self, f: impl Fn(RankCtx<'_>) -> T + Sync) -> Vec<T> {
-        let size = self.size();
-        let out: Vec<T> = self
-            .clocks
-            .par_iter()
-            .enumerate()
-            .map(|(rank, clock)| {
-                f(RankCtx {
-                    rank: rank as u32,
-                    size,
-                    clock,
-                })
-            })
-            .collect();
+    ///
+    /// A panic inside `f` kills only that rank — it is reported as
+    /// [`RankOutcome::Crashed`] while the surviving ranks keep running and
+    /// still synchronize at the barrier (real MPI would deadlock or abort
+    /// here; we model the fault-tolerant runtime the paper's workflows
+    /// assume). The step is auto-labeled `step-N`; use
+    /// [`superstep_named`](Self::superstep_named) to label phases.
+    pub fn superstep<T: Send>(&self, f: impl Fn(RankCtx<'_>) -> T + Sync) -> Vec<RankOutcome<T>> {
+        let n = self.steps.load(Ordering::Relaxed);
+        self.superstep_named(&format!("step-{n}"), f)
+    }
+
+    /// [`superstep`](Self::superstep) with an explicit phase label, recorded
+    /// in any [`RankOutcome::Crashed`] this step produces.
+    pub fn superstep_named<T: Send>(
+        &self,
+        phase: &str,
+        f: impl Fn(RankCtx<'_>) -> T + Sync,
+    ) -> Vec<RankOutcome<T>> {
+        let out = self.run_ranks(phase, f);
         self.barrier();
         out
     }
 
     /// Like [`superstep`](Self::superstep) but without the trailing barrier
     /// (for workloads whose phases end asynchronously).
-    pub fn superstep_nobarrier<T: Send>(&self, f: impl Fn(RankCtx<'_>) -> T + Sync) -> Vec<T> {
+    pub fn superstep_nobarrier<T: Send>(
+        &self,
+        f: impl Fn(RankCtx<'_>) -> T + Sync,
+    ) -> Vec<RankOutcome<T>> {
+        let n = self.steps.load(Ordering::Relaxed);
+        self.run_ranks(&format!("step-{n}"), f)
+    }
+
+    fn run_ranks<T: Send>(
+        &self,
+        phase: &str,
+        f: impl Fn(RankCtx<'_>) -> T + Sync,
+    ) -> Vec<RankOutcome<T>> {
+        self.steps.fetch_add(1, Ordering::Relaxed);
         let size = self.size();
         self.clocks
             .par_iter()
             .enumerate()
             .map(|(rank, clock)| {
-                f(RankCtx {
-                    rank: rank as u32,
-                    size,
-                    clock,
-                })
+                let rank = rank as u32;
+                match catch_quiet(|| f(RankCtx { rank, size, clock })) {
+                    Ok(v) => RankOutcome::Completed(v),
+                    Err(cause) => RankOutcome::Crashed {
+                        rank,
+                        phase: phase.to_string(),
+                        cause,
+                    },
+                }
             })
             .collect()
     }
@@ -173,9 +248,63 @@ mod tests {
         let w = MpiWorld::new(64);
         let out = w.superstep(|ctx| ctx.rank * 2);
         assert_eq!(out.len(), 64);
-        for (i, v) in out.iter().enumerate() {
-            assert_eq!(*v, i as u32 * 2);
+        for (i, v) in out.into_iter().enumerate() {
+            assert_eq!(v, RankOutcome::Completed(i as u32 * 2));
         }
+    }
+
+    #[test]
+    fn crashed_rank_does_not_abort_the_world() {
+        let w = MpiWorld::new(16);
+        let out = w.superstep_named("convert", |ctx| {
+            if ctx.rank == 5 {
+                panic!("ESIMCRASH: injected crash on rank {}", ctx.rank);
+            }
+            ctx.compute(SimDuration::from_millis(1));
+            ctx.rank
+        });
+        assert_eq!(out.len(), 16);
+        let crashed: Vec<&RankOutcome<u32>> = out.iter().filter(|o| o.is_crashed()).collect();
+        assert_eq!(crashed.len(), 1);
+        match crashed[0] {
+            RankOutcome::Crashed { rank, phase, cause } => {
+                assert_eq!(*rank, 5);
+                assert_eq!(phase, "convert");
+                assert!(cause.contains("ESIMCRASH"), "cause = {cause}");
+            }
+            RankOutcome::Completed(_) => unreachable!(),
+        }
+        // Survivors completed with their values, in rank order.
+        for (i, o) in out.iter().enumerate() {
+            if i != 5 {
+                assert_eq!(o.as_completed(), Some(&(i as u32)));
+            }
+        }
+        // The barrier still ran: all clocks (including the dead rank's)
+        // are synchronized.
+        let t = w.clock(0).now();
+        assert!((0..16).all(|r| w.clock(r).now() == t));
+    }
+
+    #[test]
+    fn unnamed_steps_get_sequential_phase_labels() {
+        let w = MpiWorld::new(2);
+        let first = w.superstep(|ctx| {
+            if ctx.rank == 0 {
+                panic!("die");
+            }
+        });
+        let second = w.superstep(|ctx| {
+            if ctx.rank == 0 {
+                panic!("die");
+            }
+        });
+        let phase_of = |out: &[RankOutcome<()>]| match &out[0] {
+            RankOutcome::Crashed { phase, .. } => phase.clone(),
+            RankOutcome::Completed(_) => unreachable!(),
+        };
+        assert_eq!(phase_of(&first), "step-0");
+        assert_eq!(phase_of(&second), "step-1");
     }
 
     #[test]
@@ -226,7 +355,7 @@ mod tests {
             ctx.size
         });
         assert_eq!(out.len(), 4096);
-        assert!(out.iter().all(|&s| s == 4096));
+        assert!(out.iter().all(|o| o.as_completed() == Some(&4096)));
     }
 
     #[test]

@@ -16,10 +16,12 @@
 
 pub mod clock;
 pub mod cost;
+pub mod panics;
 pub mod rng;
 pub mod timer;
 
 pub use clock::{SimDuration, SimTime, VirtualClock};
 pub use cost::LatencyBandwidth;
+pub use panics::catch_quiet;
 pub use rng::DetRng;
 pub use timer::ChargeGuard;

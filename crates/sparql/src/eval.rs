@@ -2,10 +2,43 @@
 //! delegation, filter application, and solution modifiers.
 
 use crate::ast::{CompareOp, Expr, PathExpr, Pattern, Query, TermOrVar};
-use crate::path::{eval_path, eval_path_from};
+use crate::path::{eval_path_budgeted, eval_path_from_budgeted};
+use crate::QueryError;
 use provio_rdf::{Graph, Term, TriplePattern};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashSet};
+
+/// A step budget for one evaluation. Every candidate binding produced by a
+/// join and every edge expanded by a path walk costs one step; exhausting
+/// the budget aborts the query with [`QueryError::BudgetExhausted`] instead
+/// of letting a pathological join or closure spin unbounded.
+pub(crate) struct Budget {
+    limit: u64,
+    remaining: u64,
+}
+
+impl Budget {
+    pub(crate) fn new(limit: u64) -> Self {
+        Budget {
+            limit,
+            remaining: limit,
+        }
+    }
+
+    pub(crate) fn unlimited() -> Self {
+        Budget::new(u64::MAX)
+    }
+
+    /// Spend `steps`; errors once the budget runs dry.
+    pub(crate) fn charge(&mut self, steps: u64) -> Result<(), QueryError> {
+        if steps > self.remaining {
+            self.remaining = 0;
+            return Err(QueryError::BudgetExhausted { budget: self.limit });
+        }
+        self.remaining -= steps;
+        Ok(())
+    }
+}
 
 /// One solution row: variable name → bound term.
 pub type Binding = BTreeMap<String, Term>;
@@ -67,8 +100,21 @@ impl Solutions {
 }
 
 impl Query {
-    /// Execute against `graph`.
+    /// Execute against `graph` with no step limit.
     pub fn execute(&self, graph: &Graph) -> Solutions {
+        self.execute_with_budget(graph, u64::MAX)
+            .expect("an unlimited budget cannot be exhausted")
+    }
+
+    /// Execute against `graph`, aborting with
+    /// [`QueryError::BudgetExhausted`] once evaluation has taken more than
+    /// `budget` steps (joined candidate rows + path-walk edge expansions).
+    pub fn execute_with_budget(
+        &self,
+        graph: &Graph,
+        budget: u64,
+    ) -> Result<Solutions, QueryError> {
+        let mut budget = Budget::new(budget);
         let mut triples: Vec<(TermOrVar, PathExpr, TermOrVar)> = Vec::new();
         let mut filters: Vec<Expr> = Vec::new();
         for p in &self.patterns {
@@ -110,7 +156,15 @@ impl Query {
 
             let mut next_rows: Vec<Binding> = Vec::new();
             for row in &rows {
-                extend_row(graph, row, &subject, &path, &object, &mut next_rows);
+                extend_row(
+                    graph,
+                    row,
+                    &subject,
+                    &path,
+                    &object,
+                    &mut next_rows,
+                    &mut budget,
+                )?;
             }
             rows = next_rows;
 
@@ -245,11 +299,12 @@ impl Query {
             .take(self.limit.unwrap_or(usize::MAX))
             .collect();
 
-        Solutions { vars, rows }
+        Ok(Solutions { vars, rows })
     }
 }
 
 /// Extend one partial binding through one (possibly path-) triple pattern.
+#[allow(clippy::too_many_arguments)]
 fn extend_row(
     graph: &Graph,
     row: &Binding,
@@ -257,7 +312,8 @@ fn extend_row(
     path: &PathExpr,
     object: &TermOrVar,
     out: &mut Vec<Binding>,
-) {
+    budget: &mut Budget,
+) -> Result<(), QueryError> {
     let s_term = resolve(row, subject);
     let o_term = resolve(row, object);
 
@@ -266,7 +322,7 @@ fn extend_row(
         let s_sub = match &s_term {
             Some(t) => match t.as_subject() {
                 Some(s) => Some(s),
-                None => return, // literal subject can never match
+                None => return Ok(()), // literal subject can never match
             },
             None => None,
         };
@@ -277,7 +333,9 @@ fn extend_row(
         if let Some(o) = &o_term {
             pat = pat.with_object(o.clone());
         }
-        for m in graph.match_pattern(&pat) {
+        let matches = graph.match_pattern(&pat);
+        budget.charge(matches.len() as u64 + 1)?;
+        for m in matches {
             push_binding(
                 row,
                 subject,
@@ -287,34 +345,38 @@ fn extend_row(
                 out,
             );
         }
-        return;
+        return Ok(());
     }
 
     // Property path.
     match (&s_term, &o_term) {
         (Some(s), _) => {
-            for reached in eval_path_from(graph, path, s) {
+            for reached in eval_path_from_budgeted(graph, path, s, budget)? {
                 if let Some(o) = &o_term {
                     if *o != reached {
                         continue;
                     }
                 }
+                budget.charge(1)?;
                 push_binding(row, subject, s, object, &reached, out);
             }
         }
         (None, Some(o)) => {
             // Evaluate the inverse path from the object.
             let inv = PathExpr::Inverse(Box::new(path.clone()));
-            for reached in eval_path_from(graph, &inv, o) {
+            for reached in eval_path_from_budgeted(graph, &inv, o, budget)? {
+                budget.charge(1)?;
                 push_binding(row, subject, &reached, object, o, out);
             }
         }
         (None, None) => {
-            for (s, o) in eval_path(graph, path) {
+            for (s, o) in eval_path_budgeted(graph, path, budget)? {
+                budget.charge(1)?;
                 push_binding(row, subject, &s, object, &o, out);
             }
         }
     }
+    Ok(())
 }
 
 fn resolve(row: &Binding, tv: &TermOrVar) -> Option<Term> {
@@ -715,6 +777,49 @@ mod tests {
     #[test]
     fn group_by_without_count_rejected() {
         assert!(Query::parse("SELECT ?t WHERE { ?x a ?t . } GROUP BY ?t").is_err());
+    }
+
+    #[test]
+    fn budget_cuts_off_a_wide_join() {
+        // Two fully unbound patterns: |elapsed| × |type| candidate rows.
+        let q = Query::parse(
+            "PREFIX ex: <http://e/> \
+             SELECT ?x ?y WHERE { ?x ex:elapsed ?d . ?y a ?t . }",
+        )
+        .unwrap();
+        let g = graph();
+        let err = q.execute_with_budget(&g, 3).unwrap_err();
+        assert_eq!(err, QueryError::BudgetExhausted { budget: 3 });
+        assert!(err.to_string().contains("budget of 3 steps"));
+
+        // A generous budget returns exactly what the unlimited path does.
+        let ok = q.execute_with_budget(&g, 10_000).unwrap();
+        assert_eq!(ok.len(), q.execute(&g).len());
+    }
+
+    #[test]
+    fn budget_cuts_off_a_closure_walk() {
+        // Dense cyclic graph: every node derives from every other, so the
+        // transitive closure is quadratic.
+        let mut g = Graph::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                if i != j {
+                    g.insert(&provio_rdf::Triple::new(
+                        provio_rdf::Subject::iri(format!("urn:n{i}")),
+                        provio_rdf::Iri::new("urn:d"),
+                        Term::iri(format!("urn:n{j}")),
+                    ));
+                }
+            }
+        }
+        let q = Query::parse("SELECT ?a ?b WHERE { ?a <urn:d>+ ?b . }").unwrap();
+        assert!(matches!(
+            q.execute_with_budget(&g, 50),
+            Err(QueryError::BudgetExhausted { budget: 50 })
+        ));
+        let full = q.execute_with_budget(&g, u64::MAX).unwrap();
+        assert_eq!(full.len(), 20 * 20); // cycles make every node reach all
     }
 
     #[test]

@@ -43,21 +43,33 @@ pub use eval::{Binding, Solutions};
 
 /// Errors from parsing or executing a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct QueryError {
-    pub message: String,
+pub enum QueryError {
+    /// Syntax error or unsupported construct, rejected at parse time.
+    Parse(String),
+    /// Evaluation exceeded its step budget ([`Query::execute_with_budget`]).
+    /// A runaway join or a closure walk over a dense graph is cut off
+    /// instead of monopolizing the engine.
+    BudgetExhausted {
+        /// The budget the evaluation started with.
+        budget: u64,
+    },
 }
 
 impl QueryError {
+    /// A parse-stage error (the historical constructor).
     pub fn new(message: impl Into<String>) -> Self {
-        QueryError {
-            message: message.into(),
-        }
+        QueryError::Parse(message.into())
     }
 }
 
 impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "query error: {}", self.message)
+        match self {
+            QueryError::Parse(message) => write!(f, "query error: {message}"),
+            QueryError::BudgetExhausted { budget } => {
+                write!(f, "query error: evaluation budget of {budget} steps exhausted")
+            }
+        }
     }
 }
 

@@ -847,7 +847,7 @@ mod tests {
     #[test]
     fn unknown_prefix_rejected() {
         let e = Query::parse("SELECT ?x WHERE { ?x zzz:p ?y . }").unwrap_err();
-        assert!(e.message.contains("unknown prefix"));
+        assert!(e.to_string().contains("unknown prefix"));
     }
 
     #[test]

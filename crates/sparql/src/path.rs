@@ -8,27 +8,51 @@
 //! closure operators.
 
 use crate::ast::PathExpr;
+use crate::eval::Budget;
+use crate::QueryError;
 use provio_rdf::{Graph, Term, TriplePattern};
 use std::collections::{HashSet, VecDeque};
 
-/// All `(s, o)` pairs connected by `path` in `graph`.
+/// All `(s, o)` pairs connected by `path` in `graph`, with no step limit.
 ///
 /// `ZeroOrMore` contributes the identity pair for every node that occurs in
 /// the graph (SPARQL's semantics restrict to terms in the graph).
 pub fn eval_path(graph: &Graph, path: &PathExpr) -> Vec<(Term, Term)> {
+    eval_path_budgeted(graph, path, &mut Budget::unlimited())
+        .expect("an unlimited budget cannot be exhausted")
+}
+
+/// Terms reachable from a fixed start term through `path`, with no step
+/// limit.
+pub fn eval_path_from(graph: &Graph, path: &PathExpr, start: &Term) -> Vec<Term> {
+    eval_path_from_budgeted(graph, path, start, &mut Budget::unlimited())
+        .expect("an unlimited budget cannot be exhausted")
+}
+
+/// Budgeted [`eval_path`]: every produced pair and every BFS edge expansion
+/// costs a step.
+pub(crate) fn eval_path_budgeted(
+    graph: &Graph,
+    path: &PathExpr,
+    budget: &mut Budget,
+) -> Result<Vec<(Term, Term)>, QueryError> {
     match path {
-        PathExpr::Iri(p) => graph
-            .match_pattern(&TriplePattern::any().with_predicate(p.clone()))
-            .into_iter()
-            .map(|t| (Term::from(t.subject), t.object))
-            .collect(),
-        PathExpr::Inverse(inner) => eval_path(graph, inner)
+        PathExpr::Iri(p) => {
+            let pairs: Vec<(Term, Term)> = graph
+                .match_pattern(&TriplePattern::any().with_predicate(p.clone()))
+                .into_iter()
+                .map(|t| (Term::from(t.subject), t.object))
+                .collect();
+            budget.charge(pairs.len() as u64 + 1)?;
+            Ok(pairs)
+        }
+        PathExpr::Inverse(inner) => Ok(eval_path_budgeted(graph, inner, budget)?
             .into_iter()
             .map(|(s, o)| (o, s))
-            .collect(),
+            .collect()),
         PathExpr::Sequence(a, b) => {
-            let left = eval_path(graph, a);
-            let right = eval_path(graph, b);
+            let left = eval_path_budgeted(graph, a, budget)?;
+            let right = eval_path_budgeted(graph, b, budget)?;
             // Hash-join on the middle term.
             let mut by_mid: std::collections::HashMap<&Term, Vec<&Term>> =
                 std::collections::HashMap::new();
@@ -38,27 +62,33 @@ pub fn eval_path(graph: &Graph, path: &PathExpr) -> Vec<(Term, Term)> {
             let mut out = HashSet::new();
             for (s, m) in &left {
                 if let Some(objects) = by_mid.get(m) {
+                    budget.charge(objects.len() as u64)?;
                     for o in objects {
                         out.insert((s.clone(), (*o).clone()));
                     }
                 }
             }
-            out.into_iter().collect()
+            Ok(out.into_iter().collect())
         }
         PathExpr::Alternative(a, b) => {
-            let mut out: HashSet<(Term, Term)> = eval_path(graph, a).into_iter().collect();
-            out.extend(eval_path(graph, b));
-            out.into_iter().collect()
+            let mut out: HashSet<(Term, Term)> =
+                eval_path_budgeted(graph, a, budget)?.into_iter().collect();
+            out.extend(eval_path_budgeted(graph, b, budget)?);
+            Ok(out.into_iter().collect())
         }
-        PathExpr::OneOrMore(inner) => closure(graph, inner, false),
-        PathExpr::ZeroOrMore(inner) => closure(graph, inner, true),
+        PathExpr::OneOrMore(inner) => closure(graph, inner, false, budget),
+        PathExpr::ZeroOrMore(inner) => closure(graph, inner, true, budget),
     }
 }
 
-/// Pairs reachable from a fixed start term through `path` (forward
-/// evaluation used when the subject is already bound — avoids materializing
-/// the whole relation for closures).
-pub fn eval_path_from(graph: &Graph, path: &PathExpr, start: &Term) -> Vec<Term> {
+/// Budgeted [`eval_path_from`] (forward evaluation used when the subject is
+/// already bound — avoids materializing the whole relation for closures).
+pub(crate) fn eval_path_from_budgeted(
+    graph: &Graph,
+    path: &PathExpr,
+    start: &Term,
+    budget: &mut Budget,
+) -> Result<Vec<Term>, QueryError> {
     match path {
         PathExpr::OneOrMore(inner) | PathExpr::ZeroOrMore(inner) => {
             let include_start = matches!(path, PathExpr::ZeroOrMore(_));
@@ -71,7 +101,8 @@ pub fn eval_path_from(graph: &Graph, path: &PathExpr, start: &Term) -> Vec<Term>
                 out.push(start.clone());
             }
             while let Some(cur) = queue.pop_front() {
-                for next in eval_path_from(graph, inner, &cur) {
+                for next in eval_path_from_budgeted(graph, inner, &cur, budget)? {
+                    budget.charge(1)?;
                     if seen.insert(next.clone()) {
                         out.push(next.clone());
                         queue.push_back(next);
@@ -80,46 +111,59 @@ pub fn eval_path_from(graph: &Graph, path: &PathExpr, start: &Term) -> Vec<Term>
             }
             // For OneOrMore the start itself is reachable only via a cycle;
             // `seen` never contained it unless inserted by a step.
-            out
+            Ok(out)
         }
         PathExpr::Sequence(a, b) => {
             let mut out = HashSet::new();
-            for mid in eval_path_from(graph, a, start) {
-                out.extend(eval_path_from(graph, b, &mid));
+            for mid in eval_path_from_budgeted(graph, a, start, budget)? {
+                out.extend(eval_path_from_budgeted(graph, b, &mid, budget)?);
             }
-            out.into_iter().collect()
+            Ok(out.into_iter().collect())
         }
         PathExpr::Alternative(a, b) => {
-            let mut out: HashSet<Term> = eval_path_from(graph, a, start).into_iter().collect();
-            out.extend(eval_path_from(graph, b, start));
-            out.into_iter().collect()
+            let mut out: HashSet<Term> = eval_path_from_budgeted(graph, a, start, budget)?
+                .into_iter()
+                .collect();
+            out.extend(eval_path_from_budgeted(graph, b, start, budget)?);
+            Ok(out.into_iter().collect())
         }
         PathExpr::Inverse(inner) => match inner.as_ref() {
-            PathExpr::Iri(p) => graph
-                .subjects_with(p, start)
-                .into_iter()
-                .map(Term::from)
-                .collect(),
+            PathExpr::Iri(p) => {
+                let subjects: Vec<Term> = graph
+                    .subjects_with(p, start)
+                    .into_iter()
+                    .map(Term::from)
+                    .collect();
+                budget.charge(subjects.len() as u64 + 1)?;
+                Ok(subjects)
+            }
             other => {
                 // General case: fall back to the full relation.
-                eval_path(graph, other)
+                Ok(eval_path_budgeted(graph, other, budget)?
                     .into_iter()
                     .filter(|(_, o)| o == start)
                     .map(|(s, _)| s)
-                    .collect()
+                    .collect())
             }
         },
         PathExpr::Iri(p) => {
             let Some(subject) = start.as_subject() else {
-                return Vec::new(); // literals have no outgoing edges
+                return Ok(Vec::new()); // literals have no outgoing edges
             };
-            graph.objects(&subject, p)
+            let objects = graph.objects(&subject, p);
+            budget.charge(objects.len() as u64 + 1)?;
+            Ok(objects)
         }
     }
 }
 
-fn closure(graph: &Graph, inner: &PathExpr, reflexive: bool) -> Vec<(Term, Term)> {
-    let base = eval_path(graph, inner);
+fn closure(
+    graph: &Graph,
+    inner: &PathExpr,
+    reflexive: bool,
+    budget: &mut Budget,
+) -> Result<Vec<(Term, Term)>, QueryError> {
+    let base = eval_path_budgeted(graph, inner, budget)?;
     // Adjacency over the base relation.
     let mut adj: std::collections::HashMap<&Term, Vec<&Term>> =
         std::collections::HashMap::new();
@@ -135,6 +179,7 @@ fn closure(graph: &Graph, inner: &PathExpr, reflexive: bool) -> Vec<(Term, Term)
             nodes.insert(Term::from(t.subject));
             nodes.insert(t.object);
         }
+        budget.charge(nodes.len() as u64)?;
         for n in nodes {
             out.insert((n.clone(), n));
         }
@@ -147,6 +192,7 @@ fn closure(graph: &Graph, inner: &PathExpr, reflexive: bool) -> Vec<(Term, Term)
         queue.push_back(src);
         while let Some(cur) = queue.pop_front() {
             if let Some(nexts) = adj.get(cur) {
+                budget.charge(nexts.len() as u64)?;
                 for &n in nexts {
                     if seen.insert(n) {
                         out.insert(((*src).clone(), n.clone()));
@@ -156,7 +202,7 @@ fn closure(graph: &Graph, inner: &PathExpr, reflexive: bool) -> Vec<(Term, Term)
             }
         }
     }
-    out.into_iter().collect()
+    Ok(out.into_iter().collect())
 }
 
 #[cfg(test)]

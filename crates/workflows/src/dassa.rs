@@ -17,7 +17,7 @@ use crate::cluster::Cluster;
 use crate::metrics::{ProvMode, RunMetrics};
 use provio_hdf5::{Data, Dataspace, Datatype, Handle, Hyperslab, H5};
 use provio_hpcfs::{FsSession, OpenFlags};
-use provio_mpi::MpiWorld;
+use provio_mpi::{MpiWorld, RankOutcome};
 use provio_simrt::{SimDuration, VirtualClock};
 use std::sync::Arc;
 
@@ -307,7 +307,7 @@ pub fn run(cluster: &Cluster, p: &DassaParams) -> DassaOutcome {
     };
 
     // Phase 1: conversion, one tdms2h5 process per node.
-    world.superstep(|ctx| {
+    world.superstep_named("tdms2h5", |ctx| {
         let pid = 2_000 + ctx.rank;
         let (s, h5) = process_for(cluster, p, &prov_dir, pid, "tdms2h5", ctx.clock().clone());
         for i in files_of(ctx.rank) {
@@ -316,7 +316,7 @@ pub fn run(cluster: &Cluster, p: &DassaParams) -> DassaOutcome {
     });
 
     // Phase 2: decimation.
-    world.superstep(|ctx| {
+    world.superstep_named("decimate", |ctx| {
         let pid = 3_000 + ctx.rank;
         let (s, h5) = process_for(cluster, p, &prov_dir, pid, "decimate", ctx.clock().clone());
         for i in files_of(ctx.rank) {
@@ -326,7 +326,7 @@ pub fn run(cluster: &Cluster, p: &DassaParams) -> DassaOutcome {
 
     // Phase 3: cross-correlation stacking.
     let products: Vec<String> = world
-        .superstep(|ctx| {
+        .superstep_named("xcorr_stack", |ctx| {
             let pid = 4_000 + ctx.rank;
             let (s, h5) =
                 process_for(cluster, p, &prov_dir, pid, "xcorr_stack", ctx.clock().clone());
@@ -338,6 +338,7 @@ pub fn run(cluster: &Cluster, p: &DassaParams) -> DassaOutcome {
             Some(stack_path(ctx.rank))
         })
         .into_iter()
+        .filter_map(RankOutcome::completed)
         .flatten()
         .collect();
 

@@ -163,7 +163,7 @@ pub fn run(cluster: &Cluster, p: &H5benchParams) -> H5benchOutcome {
 
     // Boot: rank 0 creates the shared file and all step datasets
     // (extendable along dim 0 for the append pattern).
-    world.superstep(|ctx| {
+    world.superstep_named("boot", |ctx| {
         if ctx.rank != 0 {
             return;
         }
@@ -191,7 +191,7 @@ pub fn run(cluster: &Cluster, p: &H5benchParams) -> H5benchOutcome {
     // the tracker persists in the registry keyed by pid.
     for step in 0..p.steps {
         // Write phase.
-        world.superstep(|ctx| {
+        world.superstep_named("write", |ctx| {
             let (_s, h5) = rank_process(cluster, p, &prov_dir, ctx.rank, ctx.clock().clone());
             ctx.compute(p.compute_per_step);
             write_slabs(&h5, p, ctx.rank, step, 0);
@@ -202,7 +202,7 @@ pub fn run(cluster: &Cluster, p: &H5benchParams) -> H5benchOutcome {
             IoPattern::WriteOverwriteRead => {
                 // Overwrite: a second full write pass over the same slabs
                 // (a new version of the dataset).
-                world.superstep(|ctx| {
+                world.superstep_named("overwrite", |ctx| {
                     let (_s, h5) =
                         rank_process(cluster, p, &prov_dir, ctx.rank, ctx.clock().clone());
                     ctx.compute(p.compute_per_step);
@@ -213,7 +213,7 @@ pub fn run(cluster: &Cluster, p: &H5benchParams) -> H5benchOutcome {
                 // Append: extend every dataset by one more rank-slab region
                 // and write into the new region. Determining the append
                 // offset and memory range costs extra computation (§6.2).
-                world.superstep(|ctx| {
+                world.superstep_named("append-extend", |ctx| {
                     let (_s, h5) =
                         rank_process(cluster, p, &prov_dir, ctx.rank, ctx.clock().clone());
                     ctx.compute(p.compute_per_step);
@@ -233,7 +233,7 @@ pub fn run(cluster: &Cluster, p: &H5benchParams) -> H5benchOutcome {
                         h5.close_file(f).unwrap();
                     }
                 });
-                world.superstep(|ctx| {
+                world.superstep_named("append-write", |ctx| {
                     let (_s, h5) =
                         rank_process(cluster, p, &prov_dir, ctx.rank, ctx.clock().clone());
                     let total = p.ranks as u64 * p.particles_per_rank;
@@ -243,14 +243,14 @@ pub fn run(cluster: &Cluster, p: &H5benchParams) -> H5benchOutcome {
         }
 
         // Read phase.
-        world.superstep(|ctx| {
+        world.superstep_named("read", |ctx| {
             let (_s, h5) = rank_process(cluster, p, &prov_dir, ctx.rank, ctx.clock().clone());
             read_slabs(&h5, p, ctx.rank, step);
         });
     }
 
     // Flush the shared file once at the end (rank 0).
-    world.superstep(|ctx| {
+    world.superstep_named("final-flush", |ctx| {
         if ctx.rank != 0 {
             return;
         }

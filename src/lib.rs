@@ -67,8 +67,9 @@ pub use provio_workflows as workflows;
 pub mod prelude {
     pub use provio::engine::{to_dot, IoStats};
     pub use provio::{
-        merge_directory, ProvIoApi, ProvIoConfig, ProvIoVol, ProvQueryEngine, ProvenanceStore,
-        RetryPolicy, SerializationPolicy, TrackerRegistry,
+        doctor, merge_directory, BreakerState, DoctorReport, OverloadPolicy, ProvIoApi,
+        ProvIoConfig, ProvIoVol, ProvQueryEngine, ProvenanceStore, RankCrash, RetryPolicy,
+        RunReport, SerializationPolicy, TrackerRegistry,
     };
     pub use provio_hdf5::{Data, Dataspace, Datatype, Hyperslab, H5};
     pub use provio_hpcfs::{
@@ -77,7 +78,7 @@ pub mod prelude {
     pub use provio_model::{
         ActivityClass, AgentClass, ClassSelector, EntityClass, ExtensibleClass, Relation,
     };
-    pub use provio_mpi::MpiWorld;
+    pub use provio_mpi::{MpiWorld, RankOutcome};
     pub use provio_simrt::{SimDuration, VirtualClock};
     pub use provio_sparql::Query;
     pub use provio_workflows::{Cluster, ProvMode};
