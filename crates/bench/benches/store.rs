@@ -1,8 +1,8 @@
 //! Provenance-store benchmarks: push / flush / finish / merge at 10k, 100k
 //! and (opt-in) 1M triples, plus the headline before/after comparison of
-//! the flush protocol — legacy full-rewrite vs snapshot + delta segments on
-//! a flush-every-1k workload — written to `BENCH_store.json` at the repo
-//! root.
+//! the flush protocol — legacy full-rewrite vs snapshot + delta segments vs
+//! checksummed framed segments on a flush-every-1k workload — written to
+//! `BENCH_store.json` at the repo root.
 //!
 //! Scale selection:
 //! * `PROVIO_BENCH_QUICK=1` — 10k only, no JSON output (the CI smoke step);
@@ -49,10 +49,16 @@ fn triples(range: std::ops::Range<usize>) -> Vec<Triple> {
 }
 
 /// A sync store; `delta` toggles between the segment protocol (compaction
-/// every 64 segments, the default) and the legacy full rewrite.
-fn store(fs: &Arc<FileSystem>, path: &str, delta: bool) -> ProvenanceStore {
+/// every 64 segments, the default) and the legacy full rewrite;
+/// `checksums` toggles the framed checksummed on-disk format.
+fn store_opts(fs: &Arc<FileSystem>, path: &str, delta: bool, checksums: bool) -> ProvenanceStore {
     ProvenanceStore::new(Arc::clone(fs), path, RdfFormat::NTriples, false)
         .with_delta(delta, if delta { 64 } else { 0 })
+        .with_checksums(checksums)
+}
+
+fn store(fs: &Arc<FileSystem>, path: &str, delta: bool) -> ProvenanceStore {
+    store_opts(fs, path, delta, false)
 }
 
 fn bench_push(c: &mut Criterion) {
@@ -74,8 +80,12 @@ fn bench_push(c: &mut Criterion) {
 /// The full flush-every-1k workload, timed end to end (push + flushes +
 /// finish). This is the scenario the delta protocol exists for.
 fn run_flush_workload(delta: bool, n: usize) -> Duration {
+    run_flush_workload_opts(delta, false, n)
+}
+
+fn run_flush_workload_opts(delta: bool, checksums: bool, n: usize) -> Duration {
     let fs = FileSystem::new(LustreConfig::default());
-    let st = store(&fs, "/prov/rank0.nt", delta);
+    let st = store_opts(&fs, "/prov/rank0.nt", delta, checksums);
     let data = triples(0..n);
     let start = Instant::now();
     for chunk in data.chunks(FLUSH_INTERVAL) {
@@ -92,6 +102,9 @@ fn bench_flush(c: &mut Criterion) {
     for n in scales() {
         group.bench_function(format!("delta/{n}"), |b| {
             b.iter(|| black_box(run_flush_workload(true, n)));
+        });
+        group.bench_function(format!("checksummed/{n}"), |b| {
+            b.iter(|| black_box(run_flush_workload_opts(true, true, n)));
         });
         // The legacy path rewrites the whole file every flush; at 1M that
         // is minutes per sample, so cap it at 100k.
@@ -168,13 +181,18 @@ fn headline_comparison() {
         // One warm pass each to fault in code paths, then the timed run.
         run_flush_workload(false, n.min(10_000));
         run_flush_workload(true, n.min(10_000));
+        run_flush_workload_opts(true, true, n.min(10_000));
         let legacy = run_flush_workload(false, n);
         let delta = run_flush_workload(true, n);
+        let checksummed = run_flush_workload_opts(true, true, n);
         let legacy_ms = legacy.as_secs_f64() * 1e3;
         let delta_ms = delta.as_secs_f64() * 1e3;
+        let checksummed_ms = checksummed.as_secs_f64() * 1e3;
         let speedup = legacy_ms / delta_ms.max(1e-9);
+        let overhead_pct = (checksummed_ms / delta_ms.max(1e-9) - 1.0) * 100.0;
         println!(
-            "store_headline/{n}: legacy {legacy_ms:.1} ms, delta {delta_ms:.1} ms, {speedup:.1}x"
+            "store_headline/{n}: legacy {legacy_ms:.1} ms, delta {delta_ms:.1} ms, {speedup:.1}x; \
+             checksummed {checksummed_ms:.1} ms ({overhead_pct:+.1}% vs delta)"
         );
         if !rows.is_empty() {
             rows.push_str(",\n");
@@ -182,7 +200,9 @@ fn headline_comparison() {
         rows.push_str(&format!(
             "    {{\"triples\": {n}, \"flush_every\": {FLUSH_INTERVAL}, \
              \"legacy_full_rewrite_ms\": {legacy_ms:.2}, \
-             \"delta_segments_ms\": {delta_ms:.2}, \"speedup\": {speedup:.2}}}"
+             \"delta_segments_ms\": {delta_ms:.2}, \"speedup\": {speedup:.2}, \
+             \"checksummed_delta_ms\": {checksummed_ms:.2}, \
+             \"checksum_overhead_pct\": {overhead_pct:.2}}}"
         ));
     }
     // Merge before/after: sequential vs rayon-parallel over a mid-run
@@ -206,6 +226,8 @@ fn headline_comparison() {
          every batch, finish at end (sync store, N-Triples)\",\n  \
          \"before\": \"full graph rewrite on every flush\",\n  \
          \"after\": \"snapshot + append-only delta segments, compaction every 64\",\n  \
+         \"checksummed\": \"delta protocol + framed format: per-file identity header, \
+         per-batch CRC32 frames, chained footer hash\",\n  \
          \"scenarios\": [\n{rows}\n  ],\n  \
          \"merge\": {{\"triples\": {merge_n}, \"ranks\": {MERGE_RANKS}, \
          \"sequential_ms\": {seq_ms:.2}, \"parallel_ms\": {par_ms:.2}, \

@@ -131,6 +131,14 @@ pub struct ProvIoConfig {
     /// How long (virtual ns) an open breaker waits before letting one
     /// half-open probe flush through (`[store] breaker_backoff_ns`).
     pub breaker_backoff_ns: u64,
+    /// Write sub-graph files in the checksummed framing
+    /// ([`crate::frame`]): per-file identity header, per-batch CRC32
+    /// frames, and a footer hash chained across the store's commits
+    /// (`[store] checksum_format`). Framed files stay readable by legacy
+    /// parsers (every frame line is an RDF comment); the merge verifies
+    /// them batch by batch. `false` (the default) writes the legacy
+    /// unframed format.
+    pub checksum_format: bool,
     /// Evaluation budget for SPARQL queries run through the engine, in
     /// produced bindings/visited path nodes (`[query] query_budget`;
     /// 0 = unlimited). A runaway query over a corrupted graph terminates
@@ -169,6 +177,7 @@ impl Default for ProvIoConfig {
             overload: OverloadPolicy::Block,
             breaker_threshold: 0,
             breaker_backoff_ns: DEFAULT_BREAKER_BACKOFF_NS,
+            checksum_format: false,
             query_budget: 0,
         }
     }
@@ -247,6 +256,13 @@ impl ProvIoConfig {
         self
     }
 
+    /// Write sub-graph files in the checksummed framing (off = legacy
+    /// unframed format).
+    pub fn with_checksums(mut self, enabled: bool) -> Self {
+        self.checksum_format = enabled;
+        self
+    }
+
     /// Cap SPARQL evaluation work (0 = unlimited).
     pub fn with_query_budget(mut self, budget: u64) -> Self {
         self.query_budget = budget;
@@ -265,6 +281,7 @@ impl ProvIoConfig {
     /// on finish), `queue_capacity` (`<n>` batches, 0 = unbounded),
     /// `overload_policy` (`block` | `shed`), `breaker_threshold` (`<n>`
     /// consecutive failures, 0 = disabled), `breaker_backoff_ns`,
+    /// `checksum_format` (`true`/`false`, framed checksummed store files),
     /// `query_budget` (`<n>` evaluation steps, 0 = unlimited),
     /// `workflow_type`, `preset` (one of the Table 3 presets),
     /// and `track`/`untrack` with a comma-separated item list
@@ -328,6 +345,11 @@ impl ProvIoConfig {
                     cfg.breaker_backoff_ns = value
                         .parse()
                         .map_err(|_| format!("line {}: bad integer", lineno + 1))?
+                }
+                "checksum_format" => {
+                    cfg.checksum_format = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad bool", lineno + 1))?
                 }
                 "query_budget" => {
                     cfg.query_budget = value
@@ -550,6 +572,18 @@ mod tests {
         assert_eq!(c.query_budget, 500);
         assert!(ProvIoConfig::from_ini("overload_policy = panic").is_err());
         assert!(ProvIoConfig::from_ini("breaker_threshold = many").is_err());
+    }
+
+    #[test]
+    fn checksum_knob_default_builder_and_ini() {
+        assert!(
+            !ProvIoConfig::default().checksum_format,
+            "legacy format unless asked"
+        );
+        assert!(ProvIoConfig::default().with_checksums(true).checksum_format);
+        let c = ProvIoConfig::from_ini("[store]\nchecksum_format = true\n").unwrap();
+        assert!(c.checksum_format);
+        assert!(ProvIoConfig::from_ini("checksum_format = sure").is_err());
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod api;
 pub mod config;
 pub mod connector;
 pub mod engine;
+pub mod frame;
 pub mod merge;
 pub mod report;
 pub mod store;
@@ -39,6 +40,7 @@ pub use api::ProvIoApi;
 pub use config::{OverloadPolicy, ProvIoConfig, RdfFormat, RetryPolicy, SerializationPolicy};
 pub use connector::ProvIoVol;
 pub use engine::ProvQueryEngine;
+pub use frame::{store_guid, FrameKind, FramedFile};
 pub use merge::{merge_directory, merge_directory_sequential};
 pub use report::{doctor, DoctorReport, RankCrash, RunReport};
 pub use store::{BreakerState, ProvenanceStore};

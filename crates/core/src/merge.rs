@@ -6,11 +6,12 @@
 //! (paper §5). Merging happens after workflow execution, so it costs the
 //! workflow nothing.
 
+use crate::frame::{self, FrameKind};
 use provio_hpcfs::FileSystem;
 use provio_rdf::{ntriples, turtle, Graph};
-use provio_simrt::catch_quiet;
+use provio_simrt::{catch_quiet, SimTime};
 use rayon::prelude::*;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Test hook: paths containing this marker panic inside [`process_file`],
@@ -24,14 +25,29 @@ pub struct MergeReport {
     /// Files that contributed triples (fully parsed or salvaged).
     pub files: usize,
     pub triples: usize,
-    /// Files from which nothing could be recovered; the merge proceeds
-    /// without them.
+    /// Files from which at least some records could not be recovered —
+    /// nothing at all for legacy files, one or more failed CRC batches for
+    /// framed files. The merge proceeds with whatever verified.
     pub corrupt: Vec<String>,
     /// Orphan `<p>.tmp` files adopted because no committed `<p>` exists —
     /// the writer crashed between serialization and its atomic rename.
+    /// Each path appears at most once.
     pub recovered: Vec<String>,
-    /// Triples recovered from the valid prefix of torn files.
+    /// Triples recovered from the valid prefix of torn files or from the
+    /// verified batches of partially corrupt framed files.
     pub salvaged_triples: usize,
+    /// Framed files whose identity could not be verified (damaged header
+    /// or footer, broken chain value, or a GUID claiming another store):
+    /// renamed to `<file>.quarantine` and never parsed into the merged
+    /// graph. A later merge over the same directory ignores them.
+    pub quarantined: Vec<String>,
+    /// Intact CRC batches salvaged out of partially corrupt framed files.
+    pub salvaged_batches: u64,
+    /// Discontinuities in the per-store frame chains: a substituted file
+    /// (GUID mismatch), a missing or duplicated ordinal, or a `prev` value
+    /// that does not match the predecessor's chain — each evidence that
+    /// committed history was lost, reordered, or replaced.
+    pub chain_breaks: u64,
 }
 
 #[derive(Clone, Copy)]
@@ -108,6 +124,19 @@ fn salvage(format: Format, text: &str) -> Graph {
     }
 }
 
+/// Frame header/footer facts carried out of a verified framed file, for
+/// the post-fold chain check.
+#[derive(Debug, Clone, Copy)]
+struct FrameMeta {
+    kind: FrameKind,
+    guid: u64,
+    ordinal: u64,
+    prev: u32,
+    chain: u32,
+    batches_total: usize,
+    batches_corrupt: usize,
+}
+
 /// What one sub-graph file contributed, computed independently per file so
 /// the read/parse/salvage work parallelizes.
 enum Outcome {
@@ -119,6 +148,17 @@ enum Outcome {
     Parsed { sub: Graph, adopted_tmp: bool },
     /// Valid-prefix salvage of a torn file.
     Salvaged { sub: Graph, adopted_tmp: bool },
+    /// A checksummed file whose identity verified; `sub` holds the triples
+    /// of its CRC-intact batches (all of them, when `batches_corrupt` is 0).
+    Framed {
+        sub: Graph,
+        adopted_tmp: bool,
+        meta: FrameMeta,
+    },
+    /// A checksummed file whose identity could NOT be verified: quarantine
+    /// it, never parse it. `substituted` marks a GUID claiming a different
+    /// store (counted as a chain break on top of the quarantine).
+    Quarantine { substituted: bool },
 }
 
 /// Read and parse (or salvage) one file into a scratch graph. Pure function
@@ -132,6 +172,11 @@ fn process_file(fs: &Arc<FileSystem>, path: &str, committed: &HashSet<&str>) -> 
         if marker.is_some_and(|m| path.contains(&m)) {
             panic!("injected parse panic on {path}");
         }
+    }
+    // Quarantined files were condemned by an earlier merge: never re-read,
+    // never re-renamed.
+    if path.ends_with(".quarantine") {
+        return Outcome::Skipped;
     }
     let adopted_tmp = match path.strip_suffix(".tmp") {
         Some(base) if committed.contains(base) => return Outcome::Skipped, // commit wins
@@ -151,6 +196,37 @@ fn process_file(fs: &Arc<FileSystem>, path: &str, committed: &HashSet<&str>) -> 
         return Outcome::Corrupt;
     };
     let format = format_of(path.strip_suffix(".tmp").unwrap_or(path));
+    match frame::decode(&text) {
+        Ok(framed) => {
+            if framed.guid != frame::store_guid(path) {
+                // The file's own checksums verify, but it belongs to a
+                // different store: substituted or misplaced.
+                return Outcome::Quarantine { substituted: true };
+            }
+            let meta = FrameMeta {
+                kind: framed.kind,
+                guid: framed.guid,
+                ordinal: framed.ordinal,
+                prev: framed.prev,
+                chain: framed.chain,
+                batches_total: framed.batches_total,
+                batches_corrupt: framed.batches_corrupt,
+            };
+            // The payload is CRC-verified, so parsing it can only fail at
+            // format level; salvage of verified bytes never forges triples.
+            let sub = parse_full(format, &framed.payload)
+                .unwrap_or_else(|| salvage(format, &framed.payload));
+            return Outcome::Framed {
+                sub,
+                adopted_tmp,
+                meta,
+            };
+        }
+        Err(frame::FrameError::Quarantine(_)) => {
+            return Outcome::Quarantine { substituted: false };
+        }
+        Err(frame::FrameError::NotFramed) => {} // legacy file: fall through
+    }
     if let Some(sub) = parse_full(format, &text) {
         return Outcome::Parsed { sub, adopted_tmp };
     }
@@ -159,6 +235,44 @@ fn process_file(fs: &Arc<FileSystem>, path: &str, committed: &HashSet<&str>) -> 
         return Outcome::Corrupt;
     }
     Outcome::Salvaged { sub, adopted_tmp }
+}
+
+/// Count chain discontinuities among the verified framed files of one
+/// store, ordered by ordinal. Continuity is checked from the newest
+/// snapshot onward — files before it are stale leftovers that compaction
+/// failed to unlink, harmless and expected to have gaps. A store with no
+/// snapshot must start its chain at ordinal 0.
+fn chain_breaks_in(metas: &mut [(u64, FrameMeta)]) -> u64 {
+    metas.sort_by_key(|(ordinal, _)| *ordinal);
+    let mut breaks = 0u64;
+    // Duplicate ordinals: two files claiming the same slot in the commit
+    // sequence can't both be canonical history.
+    for pair in metas.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            breaks += 1;
+        }
+    }
+    let start = metas
+        .iter()
+        .rposition(|(_, m)| m.kind == FrameKind::Snapshot)
+        .unwrap_or(0);
+    if metas[start].1.kind != FrameKind::Snapshot
+        && (metas[start].1.ordinal != 0 || metas[start].1.prev != frame::CHAIN_START)
+    {
+        // No snapshot survived and the earliest segment is not the chain's
+        // origin: whatever preceded it is gone.
+        breaks += 1;
+    }
+    for pair in metas[start..].windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        if a.0 == b.0 {
+            continue; // already counted as a duplicate
+        }
+        if b.1.ordinal != a.1.ordinal + 1 || b.1.prev != a.1.chain {
+            breaks += 1;
+        }
+    }
+    breaks
 }
 
 /// Parse and merge every sub-graph file under `dir` (recursively) into one
@@ -179,6 +293,15 @@ fn process_file(fs: &Arc<FileSystem>, path: &str, committed: &HashSet<&str>) -> 
 /// that fail a full parse get their valid prefix salvaged line-by-line
 /// (N-Triples) or at statement boundaries (Turtle); only files yielding
 /// nothing at all are reported corrupt.
+///
+/// Integrity: files written with the store's checksummed framing
+/// ([`crate::frame`]) are CRC-verified batch by batch — corrupt batches are
+/// dropped (and counted) while intact siblings still merge, files whose
+/// header, footer, or GUID cannot be verified are renamed to
+/// `<file>.quarantine` and never parsed (a later merge over the same
+/// directory leaves them untouched), and each store's header/footer hash
+/// chain is checked for missing, duplicated, or substituted commits
+/// ([`MergeReport::chain_breaks`]).
 pub fn merge_directory(fs: &Arc<FileSystem>, dir: &str) -> (Graph, MergeReport) {
     merge_directory_impl(fs, dir, true)
 }
@@ -201,6 +324,9 @@ fn merge_directory_impl(
         corrupt: Vec::new(),
         recovered: Vec::new(),
         salvaged_triples: 0,
+        quarantined: Vec::new(),
+        salvaged_batches: 0,
+        chain_breaks: 0,
     };
     let files = match fs.walk_files(dir) {
         Ok(f) => f,
@@ -220,7 +346,14 @@ fn merge_directory_impl(
     };
     // Deterministic sequential fold in directory order; the merge itself is
     // the bulk id-mapped path (one intern per distinct term per file).
+    let mut recovered_seen: HashSet<&str> = HashSet::new();
+    let mut chains: HashMap<u64, Vec<(u64, FrameMeta)>> = HashMap::new();
     for (path, outcome) in files.iter().zip(outcomes) {
+        let mut recover = |report: &mut MergeReport| {
+            if recovered_seen.insert(path.as_str()) {
+                report.recovered.push(path.clone());
+            }
+        };
         match outcome {
             Outcome::Skipped => {}
             Outcome::Corrupt => report.corrupt.push(path.clone()),
@@ -228,7 +361,7 @@ fn merge_directory_impl(
                 graph.merge(&sub);
                 report.files += 1;
                 if adopted_tmp {
-                    report.recovered.push(path.clone());
+                    recover(&mut report);
                 }
             }
             Outcome::Salvaged { sub, adopted_tmp } => {
@@ -236,10 +369,45 @@ fn merge_directory_impl(
                 graph.merge(&sub);
                 report.files += 1;
                 if adopted_tmp {
-                    report.recovered.push(path.clone());
+                    recover(&mut report);
+                }
+            }
+            Outcome::Framed {
+                sub,
+                adopted_tmp,
+                meta,
+            } => {
+                if meta.batches_corrupt > 0 {
+                    // Partial recovery: the dropped batches are corruption,
+                    // the surviving ones are salvage.
+                    report.corrupt.push(path.clone());
+                    report.salvaged_batches +=
+                        (meta.batches_total - meta.batches_corrupt) as u64;
+                    report.salvaged_triples += sub.len();
+                }
+                graph.merge(&sub);
+                report.files += 1;
+                if adopted_tmp {
+                    recover(&mut report);
+                }
+                chains.entry(meta.guid).or_default().push((meta.ordinal, meta));
+            }
+            Outcome::Quarantine { substituted } => {
+                // Condemn the file on disk so later merges skip it without
+                // re-parsing; the rename is best-effort (a read-only or
+                // failing filesystem still gets the in-report verdict).
+                let _ = fs.rename(path, &format!("{path}.quarantine"), SimTime::ZERO);
+                report.quarantined.push(path.clone());
+                if substituted {
+                    // A verified file claiming another store's GUID means
+                    // this store's real history was displaced.
+                    report.chain_breaks += 1;
                 }
             }
         }
+    }
+    for metas in chains.values_mut() {
+        report.chain_breaks += chain_breaks_in(metas);
     }
     report.triples = graph.len();
     (graph, report)
@@ -454,6 +622,31 @@ mod tests {
         write_file(&fs, "/provio/orphan.nt.tmp", b"<urn:orphan> <urn:p> <urn:o> .\n");
         write_file(&fs, "/provio/torn.nt", b"<urn:t> <urn:p> <urn:o> .\n<urn:u> <urn:p> \"x");
         write_file(&fs, "/provio/bad.nt", b"%%% nothing valid %%%\n");
+        // Framed files too: one clean, one with a rotten batch (batch
+        // corruption is reported in place, not renamed, so the directory is
+        // byte-identical for the second merge).
+        write_framed(
+            &fs,
+            "/provio/framed.nt",
+            FrameKind::Snapshot,
+            0,
+            frame::CHAIN_START,
+            "<urn:f> <urn:p> <urn:o> .\n",
+            64,
+        );
+        let (text, _) = frame::encode(
+            FrameKind::Snapshot,
+            frame::store_guid("/provio/rotten.nt"),
+            0,
+            frame::CHAIN_START,
+            "<urn:r1> <urn:p> <urn:o> .\n<urn:r2> <urn:p> <urn:o> .\n",
+            1,
+        );
+        write_file(
+            &fs,
+            "/provio/rotten.nt",
+            text.replace("<urn:r1>", "<urn:RX>").as_bytes(),
+        );
         let (gp, rp) = merge_directory(&fs, "/provio");
         let (gs, rs) = merge_directory_sequential(&fs, "/provio");
         assert_eq!(
@@ -466,8 +659,16 @@ mod tests {
         assert_eq!(rp.corrupt, rs.corrupt);
         assert_eq!(rp.recovered, rs.recovered);
         assert_eq!(rp.salvaged_triples, rs.salvaged_triples);
+        assert_eq!(rp.quarantined, rs.quarantined);
+        assert_eq!(rp.salvaged_batches, rs.salvaged_batches);
+        assert_eq!(rp.chain_breaks, rs.chain_breaks);
         assert_eq!(rp.recovered, vec!["/provio/orphan.nt.tmp".to_string()]);
-        assert_eq!(rp.corrupt, vec!["/provio/bad.nt".to_string()]);
+        assert_eq!(
+            rp.corrupt,
+            vec!["/provio/bad.nt".to_string(), "/provio/rotten.nt".to_string()]
+        );
+        assert_eq!(rp.salvaged_batches, 1);
+        assert_eq!(rp.chain_breaks, 0);
     }
 
     #[test]
@@ -492,6 +693,281 @@ mod tests {
         assert_eq!(report.files, 3, "snapshot and both segments contribute");
         assert_eq!(g.len(), 4, "duplicate triples collapse");
         assert!(report.corrupt.is_empty());
+    }
+
+    /// Encode `payload` in the checksummed framing under `path`'s own store
+    /// GUID and write it; returns the chain value for the store's next file.
+    fn write_framed(
+        fs: &Arc<FileSystem>,
+        path: &str,
+        kind: FrameKind,
+        ordinal: u64,
+        prev: u32,
+        payload: &str,
+        batch_lines: usize,
+    ) -> u32 {
+        let (text, chain) =
+            frame::encode(kind, frame::store_guid(path), ordinal, prev, payload, batch_lines);
+        write_file(fs, path, text.as_bytes());
+        chain
+    }
+
+    #[test]
+    fn framed_snapshot_and_segments_merge_with_unbroken_chain() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let c0 = write_framed(
+            &fs,
+            "/provio/prov_p9.nt",
+            FrameKind::Snapshot,
+            0,
+            frame::CHAIN_START,
+            "<urn:a> <urn:p> <urn:1> .\n",
+            64,
+        );
+        let c1 = write_framed(
+            &fs,
+            "/provio/prov_p9.nt.d000000.nt",
+            FrameKind::Delta,
+            1,
+            c0,
+            "<urn:a> <urn:p> <urn:2> .\n",
+            64,
+        );
+        write_framed(
+            &fs,
+            "/provio/prov_p9.nt.d000001.nt",
+            FrameKind::Delta,
+            2,
+            c1,
+            "<urn:a> <urn:p> <urn:3> .\n",
+            64,
+        );
+        let (g, report) = merge_directory(&fs, "/provio");
+        assert_eq!(report.files, 3);
+        assert_eq!(g.len(), 3);
+        assert!(report.corrupt.is_empty());
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.chain_breaks, 0);
+        assert_eq!(report.salvaged_batches, 0);
+        assert_eq!(report.salvaged_triples, 0);
+    }
+
+    #[test]
+    fn corrupt_batch_is_dropped_and_intact_siblings_salvaged() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let payload =
+            "<urn:a> <urn:p> <urn:1> .\n<urn:b> <urn:p> <urn:2> .\n<urn:c> <urn:p> <urn:3> .\n";
+        let (text, _) = frame::encode(
+            FrameKind::Snapshot,
+            frame::store_guid("/provio/prov_p7.nt"),
+            0,
+            frame::CHAIN_START,
+            payload,
+            1, // one line per batch: damage stays contained
+        );
+        // Bit rot lands inside the middle batch's payload.
+        let rotten = text.replace("<urn:b>", "<urn:X>");
+        write_file(&fs, "/provio/prov_p7.nt", rotten.as_bytes());
+        let (g, report) = merge_directory(&fs, "/provio");
+        assert_eq!(report.files, 1);
+        assert_eq!(g.len(), 2, "intact batches still contribute");
+        assert_eq!(report.corrupt, vec!["/provio/prov_p7.nt".to_string()]);
+        assert_eq!(report.salvaged_batches, 2);
+        assert_eq!(report.salvaged_triples, 2);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.chain_breaks, 0, "identity still verifies");
+        let merged = ntriples::serialize(&g);
+        assert!(!merged.contains("urn:X"), "the forged value must not merge");
+        assert!(!merged.contains("urn:2"), "the damaged batch is dropped whole");
+    }
+
+    #[test]
+    fn unverifiable_header_quarantines_the_file() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let (text, _) = frame::encode(
+            FrameKind::Snapshot,
+            frame::store_guid("/provio/prov_p6.nt"),
+            3,
+            0x1234_5678,
+            "<urn:evil> <urn:p> <urn:o> .\n",
+            64,
+        );
+        // Header tampering: the footer's chain value no longer matches.
+        let tampered = text.replace("ordinal=3", "ordinal=4");
+        write_file(&fs, "/provio/prov_p6.nt", tampered.as_bytes());
+        let (g, report) = merge_directory(&fs, "/provio");
+        assert_eq!(report.files, 0);
+        assert!(g.is_empty(), "nothing from a quarantined file merges");
+        assert_eq!(report.quarantined, vec!["/provio/prov_p6.nt".to_string()]);
+        assert!(report.corrupt.is_empty());
+        assert!(
+            fs.lookup("/provio/prov_p6.nt").is_err(),
+            "the original path is gone"
+        );
+        assert!(
+            fs.lookup("/provio/prov_p6.nt.quarantine").is_ok(),
+            "condemned under the .quarantine suffix"
+        );
+    }
+
+    #[test]
+    fn quarantine_is_idempotent_across_remerges() {
+        let fs = FileSystem::new(LustreConfig::default());
+        write_file(&fs, "/provio/prov_p0.nt", b"<urn:a> <urn:p> <urn:b> .\n");
+        let (text, _) = frame::encode(
+            FrameKind::Snapshot,
+            frame::store_guid("/provio/prov_p8.nt"),
+            0,
+            frame::CHAIN_START,
+            "<urn:q> <urn:p> <urn:o> .\n",
+            64,
+        );
+        write_file(
+            &fs,
+            "/provio/prov_p8.nt",
+            text.replace("kind=snapshot", "kind=delta").as_bytes(),
+        );
+        let (g1, r1) = merge_directory(&fs, "/provio");
+        assert_eq!(r1.quarantined, vec!["/provio/prov_p8.nt".to_string()]);
+        // Second merge over the same directory: the .quarantine file is
+        // neither re-parsed nor re-renamed, and the verdict is not
+        // re-reported — the damage was already accounted once.
+        let (g2, r2) = merge_directory(&fs, "/provio");
+        assert!(r2.quarantined.is_empty());
+        assert!(r2.corrupt.is_empty());
+        assert_eq!(r2.files, r1.files);
+        assert_eq!(g2.len(), g1.len());
+        assert!(fs.lookup("/provio/prov_p8.nt.quarantine").is_ok());
+        assert!(
+            fs.lookup("/provio/prov_p8.nt.quarantine.quarantine").is_err(),
+            "no double rename"
+        );
+    }
+
+    #[test]
+    fn substituted_guid_is_quarantined_and_breaks_the_chain() {
+        let fs = FileSystem::new(LustreConfig::default());
+        // A perfectly valid framed file... for a different store. Dropping
+        // it over prov_p1's snapshot is substitution: its checksums verify
+        // but its identity is wrong.
+        let (text, _) = frame::encode(
+            FrameKind::Snapshot,
+            frame::store_guid("/provio/prov_p2.nt"),
+            0,
+            frame::CHAIN_START,
+            "<urn:forged> <urn:p> <urn:o> .\n",
+            64,
+        );
+        write_file(&fs, "/provio/prov_p1.nt", text.as_bytes());
+        let (g, report) = merge_directory(&fs, "/provio");
+        assert!(g.is_empty());
+        assert_eq!(report.quarantined, vec!["/provio/prov_p1.nt".to_string()]);
+        assert_eq!(report.chain_breaks, 1, "displaced history is a chain break");
+    }
+
+    #[test]
+    fn missing_segment_is_a_chain_break_but_survivors_merge() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let c0 = write_framed(
+            &fs,
+            "/provio/prov_p5.nt",
+            FrameKind::Snapshot,
+            0,
+            frame::CHAIN_START,
+            "<urn:a> <urn:p> <urn:1> .\n",
+            64,
+        );
+        // Segment ordinal 1 was lost; ordinal 2 carries a prev no survivor
+        // can produce.
+        let (lost_seg, c1) = frame::encode(
+            FrameKind::Delta,
+            frame::store_guid("/provio/prov_p5.nt.d000000.nt"),
+            1,
+            c0,
+            "<urn:a> <urn:p> <urn:2> .\n",
+            64,
+        );
+        let _ = lost_seg; // never written: this is the hole in history
+        write_framed(
+            &fs,
+            "/provio/prov_p5.nt.d000001.nt",
+            FrameKind::Delta,
+            2,
+            c1,
+            "<urn:a> <urn:p> <urn:3> .\n",
+            64,
+        );
+        let (g, report) = merge_directory(&fs, "/provio");
+        assert_eq!(report.files, 2, "both surviving files merge");
+        assert_eq!(g.len(), 2);
+        assert_eq!(report.chain_breaks, 1, "the gap is evidence of loss");
+        assert!(report.quarantined.is_empty());
+    }
+
+    #[test]
+    fn stale_pre_snapshot_segments_are_not_chain_breaks() {
+        let fs = FileSystem::new(LustreConfig::default());
+        // Compaction wrote a fresh snapshot at ordinal 2 but crashed before
+        // unlinking the segments it folded in. The gap *below* the newest
+        // snapshot is normal operation, not damage.
+        let c0 = write_framed(
+            &fs,
+            "/provio/prov_p4.nt.d000000.nt",
+            FrameKind::Delta,
+            0,
+            frame::CHAIN_START,
+            "<urn:a> <urn:p> <urn:1> .\n",
+            64,
+        );
+        let _c1 = write_framed(
+            &fs,
+            "/provio/prov_p4.nt.d000001.nt",
+            FrameKind::Delta,
+            1,
+            c0,
+            "<urn:a> <urn:p> <urn:2> .\n",
+            64,
+        );
+        let c2 = write_framed(
+            &fs,
+            "/provio/prov_p4.nt",
+            FrameKind::Snapshot,
+            2,
+            0xDEAD_BEEF, // prev of a snapshot is unchecked history
+            "<urn:a> <urn:p> <urn:1> .\n<urn:a> <urn:p> <urn:2> .\n",
+            64,
+        );
+        write_framed(
+            &fs,
+            "/provio/prov_p4.nt.d000002.nt",
+            FrameKind::Delta,
+            3,
+            c2,
+            "<urn:a> <urn:p> <urn:3> .\n",
+            64,
+        );
+        let (g, report) = merge_directory(&fs, "/provio");
+        assert_eq!(report.files, 4);
+        assert_eq!(g.len(), 3, "duplicates collapse");
+        assert_eq!(report.chain_breaks, 0);
+    }
+
+    #[test]
+    fn torn_orphan_tmp_is_recovered_exactly_once() {
+        let fs = FileSystem::new(LustreConfig::default());
+        // One file that is BOTH an orphan tmp (no committed base) and torn
+        // (salvage path): it must appear in `recovered` exactly once, not
+        // once per condition.
+        write_file(
+            &fs,
+            "/provio/prov_p3.nt.tmp",
+            b"<urn:a> <urn:p> <urn:b> .\n<urn:c> <urn:p> \"to",
+        );
+        let (g, report) = merge_directory(&fs, "/provio");
+        assert_eq!(report.recovered, vec!["/provio/prov_p3.nt.tmp".to_string()]);
+        assert_eq!(report.salvaged_triples, 1);
+        assert_eq!(report.files, 1);
+        assert_eq!(g.len(), 1);
     }
 
     #[test]

@@ -54,8 +54,14 @@ pub struct RunReport {
     pub merged_triples: usize,
     /// Triples recovered from the valid prefix of torn files.
     pub salvaged_triples: usize,
-    /// Files from which nothing could be recovered.
+    /// Files with unrecoverable content (legacy files yielding nothing,
+    /// framed files with failed CRC batches).
     pub corrupt_files: usize,
+    /// Framed files whose identity failed verification and were quarantined
+    /// by the merge.
+    pub quarantined_files: usize,
+    /// Discontinuities detected in the per-store frame chains.
+    pub chain_breaks: u64,
 }
 
 impl RunReport {
@@ -91,6 +97,8 @@ impl RunReport {
         self.merged_triples = report.triples;
         self.salvaged_triples = report.salvaged_triples;
         self.corrupt_files = report.corrupt.len();
+        self.quarantined_files = report.quarantined.len();
+        self.chain_breaks = report.chain_breaks;
     }
 
     /// Ranks that completed every recorded superstep.
@@ -105,11 +113,14 @@ impl RunReport {
         (self.recovered_subgraphs as f64 / expected).min(1.0)
     }
 
-    /// True when nothing was lost: no crashes, no unrecoverable files, and
-    /// every expected sub-graph present.
+    /// True when nothing was lost: no crashes, no unrecoverable or
+    /// quarantined files, unbroken frame chains, and every expected
+    /// sub-graph present.
     pub fn is_complete(&self) -> bool {
         self.crashed.is_empty()
             && self.corrupt_files == 0
+            && self.quarantined_files == 0
+            && self.chain_breaks == 0
             && self.recovered_subgraphs >= self.expected_subgraphs
     }
 }
@@ -119,7 +130,8 @@ impl fmt::Display for RunReport {
         write!(
             f,
             "run: {}/{} ranks survived; {}/{} sub-graphs recovered \
-             ({:.1}% complete), {} triples merged, {} salvaged, {} files lost",
+             ({:.1}% complete), {} triples merged, {} salvaged, {} files lost, \
+             {} quarantined, {} chain breaks",
             self.world_size as usize - self.crashed.len(),
             self.world_size,
             self.recovered_subgraphs,
@@ -128,6 +140,8 @@ impl fmt::Display for RunReport {
             self.merged_triples,
             self.salvaged_triples,
             self.corrupt_files,
+            self.quarantined_files,
+            self.chain_breaks,
         )
     }
 }
@@ -304,7 +318,29 @@ mod tests {
             corrupt: Vec::new(),
             recovered: Vec::new(),
             salvaged_triples: 0,
+            quarantined: Vec::new(),
+            salvaged_batches: 0,
+            chain_breaks: 0,
         }
+    }
+
+    #[test]
+    fn integrity_damage_breaks_completeness() {
+        let mut quarantined = merge_report(4, 100);
+        quarantined.quarantined.push("/provio/evil.nt".into());
+        let mut r = RunReport::new(4);
+        r.attach_merge(4, &quarantined);
+        assert_eq!(r.quarantined_files, 1);
+        assert!(!r.is_complete(), "a quarantined file is lost provenance");
+
+        let mut broken = merge_report(4, 100);
+        broken.chain_breaks = 2;
+        let mut r = RunReport::new(4);
+        r.attach_merge(4, &broken);
+        assert_eq!(r.chain_breaks, 2);
+        assert!(!r.is_complete(), "a chain break is lost history");
+        let line = r.to_string();
+        assert!(line.contains("2 chain breaks"), "display: {line}");
     }
 
     #[test]

@@ -71,8 +71,21 @@
 //! After a backoff interval on the virtual clock the breaker half-opens and
 //! lets one probe flush through; success closes it, failure re-opens it.
 //! `finish` always attempts the final snapshot regardless of breaker state.
+//!
+//! # Checksummed framing
+//!
+//! With [`ProvenanceStore::with_checksums`] every committed file is wrapped
+//! in the [`crate::frame`] format: a header carrying the store GUID and the
+//! file's ordinal in this store's commit sequence, per-batch CRC-32 frames
+//! over the payload, and a footer whose chain value links each file to its
+//! predecessor. The ordinal and chain advance only on a *successful*
+//! commit, so a failed flush retries under the same identity and the
+//! on-disk chain never skips. All frame lines are `#` comments, so a
+//! framed file is still parseable by any legacy reader; merge-side
+//! verification is where the checksums pay off (see [`crate::merge`]).
 
 use crate::config::{OverloadPolicy, RdfFormat, RetryPolicy};
+use crate::frame::{self, FrameKind};
 use parking_lot::{Condvar, Mutex};
 use provio_hpcfs::{FileSystem, FsError};
 use provio_rdf::{ntriples, turtle, Graph, Namespaces, Term, TermId, Triple};
@@ -299,11 +312,26 @@ struct IoState {
     /// clock (async flushes): the owning rank's clock, if wired via
     /// [`ProvenanceStore::with_clock`].
     clock: Option<VirtualClock>,
+    /// Commit every file in the checksummed frame format (see
+    /// [`crate::frame`]); legacy plain serialization when off.
+    checksums: bool,
+    /// GUID framed commits claim, derived from the store path.
+    guid: u64,
+    /// Ordinal of the next framed commit. Advanced only on success, so a
+    /// failed flush retries under the same identity.
+    next_ordinal: u64,
+    /// Chain value of the last successfully committed framed file.
+    last_chain: u32,
 }
 
 fn seg_path(path: &str, seq: u64) -> String {
     format!("{path}.d{seq:06}.nt")
 }
+
+/// Lines per CRC frame for line-oriented (N-Triples) payloads: small
+/// enough that one corrupt region loses little, large enough that marker
+/// overhead stays negligible.
+const NT_BATCH_LINES: usize = 64;
 
 impl IoState {
     /// The breaker's notion of "now": the charge clock if the flush carries
@@ -448,13 +476,52 @@ impl Inner {
             let st = self.state.lock();
             (st.graph.clone(), st.graph.len())
         };
-        let text = match io.format {
-            RdfFormat::Turtle => turtle::serialize(&graph, &Namespaces::standard()),
-            RdfFormat::NTriples => ntriples::serialize(&graph),
+        let (bytes, chain) = match (io.checksums, io.format) {
+            (false, RdfFormat::Turtle) => {
+                (turtle::serialize(&graph, &Namespaces::standard()).into_bytes(), None)
+            }
+            (false, RdfFormat::NTriples) => (ntriples::serialize(&graph).into_bytes(), None),
+            // Turtle statements span lines, and splicing verified fragments
+            // across a dropped batch could forge triples — a Turtle
+            // snapshot is one all-or-nothing batch.
+            (true, RdfFormat::Turtle) => {
+                let text = turtle::serialize(&graph, &Namespaces::standard());
+                let (framed, c) = frame::encode(
+                    FrameKind::Snapshot,
+                    io.guid,
+                    io.next_ordinal,
+                    io.last_chain,
+                    &text,
+                    usize::MAX,
+                );
+                (framed.into_bytes(), Some(c))
+            }
+            // N-Triples is line-oriented, so fine-grained batches salvage
+            // safely — and the lines can be framed while still cache-hot
+            // instead of re-scanning a rendered blob.
+            (true, RdfFormat::NTriples) => {
+                let lines = ntriples::sorted_graph_lines(&graph);
+                let mut enc = frame::Encoder::new(
+                    FrameKind::Snapshot,
+                    io.guid,
+                    io.next_ordinal,
+                    io.last_chain,
+                );
+                enc.reserve(lines.iter().map(|l| l.len() + 1).sum());
+                for chunk in lines.chunks(NT_BATCH_LINES) {
+                    enc.batch(chunk);
+                }
+                let (framed, c) = enc.finish();
+                (framed, Some(c))
+            }
         };
         let (tmp, dst) = (io.tmp_path.clone(), io.path.clone());
-        if !io.commit_with_retry(&tmp, &dst, text.as_bytes(), charge) {
+        if !io.commit_with_retry(&tmp, &dst, &bytes, charge) {
             return 0;
+        }
+        if let Some(c) = chain {
+            io.last_chain = c;
+            io.next_ordinal += 1;
         }
         // The snapshot holds everything the segments held: fold them away.
         // Unlink failures are harmless — a surviving segment only feeds the
@@ -468,7 +535,7 @@ impl Inner {
         io.deltas_since_snapshot = 0;
         io.snapshot_done = true;
         self.state.lock().watermark = captured;
-        text.len() as u64
+        bytes.len() as u64
     }
 
     /// Append one delta segment holding the triples above the watermark.
@@ -495,16 +562,39 @@ impl Inner {
         };
         // Render off the state lock; the io lock (held by our caller)
         // already serializes flushes.
-        let mut buf = Vec::new();
-        ntriples::render_ids(&ids, |id| &terms[&id], &mut buf)
-            .expect("writing to a Vec cannot fail");
+        let (bytes, chain) = if io.checksums {
+            // Frame the sorted lines while they are hot: no re-scan, no
+            // UTF-8 revalidation, no second full-payload copy.
+            let lines = ntriples::sorted_id_lines(&ids, |id| &terms[&id]);
+            let mut enc = frame::Encoder::new(
+                FrameKind::Delta,
+                io.guid,
+                io.next_ordinal,
+                io.last_chain,
+            );
+            enc.reserve(lines.iter().map(|l| l.len() + 1).sum());
+            for chunk in lines.chunks(NT_BATCH_LINES) {
+                enc.batch(chunk);
+            }
+            let (framed, c) = enc.finish();
+            (framed, Some(c))
+        } else {
+            let mut buf = Vec::new();
+            ntriples::render_ids(&ids, |id| &terms[&id], &mut buf)
+                .expect("writing to a Vec cannot fail");
+            (buf, None)
+        };
         let seg = seg_path(&io.path, io.next_seg);
         let tmp = format!("{seg}.tmp");
-        if io.commit_with_retry(&tmp, &seg, &buf, charge) {
+        if io.commit_with_retry(&tmp, &seg, &bytes, charge) {
+            if let Some(c) = chain {
+                io.last_chain = c;
+                io.next_ordinal += 1;
+            }
             io.segments.push(seg);
             io.next_seg += 1;
             io.deltas_since_snapshot += 1;
-            let n = buf.len() as u64;
+            let n = bytes.len() as u64;
             if io.compact_every > 0 && io.deltas_since_snapshot >= io.compact_every {
                 self.snapshot(io, charge);
             }
@@ -606,6 +696,10 @@ impl ProvenanceStore {
             breaker_trips: 0,
             breaker_skipped: 0,
             clock: None,
+            checksums: false,
+            guid: frame::store_guid(&path),
+            next_ordinal: 0,
+            last_chain: frame::CHAIN_START,
         };
         ProvenanceStore {
             inner: Arc::new(Inner {
@@ -668,6 +762,14 @@ impl ProvenanceStore {
     /// for flushes that carry no charge clock (all async flushes).
     pub fn with_clock(self, clock: VirtualClock) -> Self {
         self.inner.io.lock().clock = Some(clock);
+        self
+    }
+
+    /// Commit files in the checksummed frame format (see [`crate::frame`]):
+    /// header with store GUID and commit ordinal, per-batch CRC-32 frames,
+    /// chained footer. Off by default (legacy plain serialization).
+    pub fn with_checksums(self, enabled: bool) -> Self {
+        self.inner.io.lock().checksums = enabled;
         self
     }
 
@@ -1214,6 +1316,116 @@ mod tests {
         let ino = fs.lookup(path).unwrap();
         let size = fs.stat(path).unwrap().size;
         fs.read_at(ino, 0, size).unwrap().to_vec()
+    }
+
+    // ---- checksummed framing -------------------------------------------
+
+    #[test]
+    fn checksummed_snapshot_frames_and_stays_legacy_parseable() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/ck.nt", RdfFormat::NTriples, false)
+            .with_checksums(true);
+        st.push(triples(10), None);
+        assert!(st.finish(None) > 0);
+        let text = String::from_utf8(fs_read(&fs, "/prov/ck.nt")).unwrap();
+        let f = frame::decode(&text).expect("framed");
+        assert_eq!(f.kind, FrameKind::Snapshot);
+        assert_eq!(f.guid, frame::store_guid("/prov/ck.nt"));
+        assert!(f.intact());
+        assert_eq!(ntriples::parse(&f.payload).unwrap().len(), 10);
+        // Frame lines are comments: a legacy reader parses the file whole.
+        assert_eq!(ntriples::parse(&text).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn framed_segments_chain_across_flushes_and_compaction() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/cc.nt", RdfFormat::NTriples, false)
+            .with_checksums(true);
+        st.push(triples_from(0, 2), None);
+        st.flush(None); // ordinal 0: snapshot
+        st.push(triples_from(2, 2), None);
+        st.flush(None); // ordinal 1: delta segment
+        st.push(triples_from(4, 2), None);
+        assert!(st.finish(None) > 0); // ordinal 2: compacted snapshot
+
+        let snap = frame::decode(
+            &String::from_utf8(fs_read(&fs, "/prov/cc.nt")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(snap.kind, FrameKind::Snapshot);
+        assert_eq!(snap.ordinal, 2, "ordinals rise across compaction");
+        // The compacted snapshot chains off the delta segment's value.
+        let (_, seg_chain) = frame::encode(
+            FrameKind::Delta,
+            snap.guid,
+            1,
+            {
+                let (_, c0) = frame::encode(
+                    FrameKind::Snapshot,
+                    snap.guid,
+                    0,
+                    frame::CHAIN_START,
+                    "",
+                    1,
+                );
+                c0
+            },
+            "",
+            1,
+        );
+        assert_eq!(snap.prev, seg_chain);
+    }
+
+    #[test]
+    fn failed_framed_flush_retries_under_the_same_ordinal() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/cf2.nt", RdfFormat::NTriples, false)
+            .with_checksums(true)
+            .with_retry(RetryPolicy {
+                max_attempts: 1,
+                backoff_ns: 0,
+            });
+        st.push(triples_from(0, 2), None);
+        st.flush(None); // ordinal 0 committed
+        let plan = FaultPlan::new(41);
+        plan.add_rule(
+            FaultRule::fail(FaultOp::WriteAt, FsError::Io)
+                .on_path("cf2.nt.d000000.nt.tmp")
+                .times(1),
+        );
+        fs.install_faults(plan);
+        st.push(triples_from(2, 2), None);
+        st.flush(None); // delta drops; ordinal must NOT advance
+        assert!(st.degraded());
+        fs.clear_faults();
+        st.flush(None); // retry lands
+        let seg = frame::decode(
+            &String::from_utf8(fs_read(&fs, "/prov/cf2.nt.d000000.nt")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(seg.ordinal, 1, "failed commit did not consume an ordinal");
+        let snap = frame::decode(
+            &String::from_utf8(fs_read(&fs, "/prov/cf2.nt")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(seg.prev, snap.chain, "chain is gapless despite the retry");
+    }
+
+    #[test]
+    fn checksummed_turtle_snapshot_is_one_batch() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/ct.ttl", RdfFormat::Turtle, false)
+            .with_checksums(true);
+        st.push(triples(200), None);
+        assert!(st.finish(None) > 0);
+        let f = frame::decode(
+            &String::from_utf8(fs_read(&fs, "/prov/ct.ttl")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(f.batches_total, 1, "Turtle payload is all-or-nothing");
+        let (g, _) = turtle::parse(&f.payload).unwrap();
+        assert_eq!(g.len(), 200);
     }
 
     // ---- bounded queue -------------------------------------------------

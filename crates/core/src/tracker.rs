@@ -172,6 +172,7 @@ impl ProvTracker {
             .with_delta(config.delta_segments, config.compact_every)
             .with_queue(config.queue_capacity, config.overload)
             .with_breaker(config.breaker_threshold, config.breaker_backoff_ns)
+            .with_checksums(config.checksum_format)
             .with_clock(clock.clone());
         let program_guid = GuidGen::agent("Program", program);
         let thread_guid = GuidGen::agent("Thread", &format!("{program}-rank{pid}"));

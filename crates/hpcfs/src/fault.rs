@@ -29,6 +29,27 @@ pub enum FaultOp {
     WriteAt,
     Rename,
     TruncateIno,
+    /// Data-path reads; the only op where [`FaultAction::Corrupt`] mutates
+    /// the bytes handed back instead of the bytes on media.
+    ReadAt,
+}
+
+/// The shape of a silent-corruption fault: what bit rot, a misdirected
+/// write, or a failing controller does to committed bytes. Where the bytes
+/// land (the media, or just one read's returned copy) is decided by the op
+/// the rule armed; *which* bytes are hit is drawn from the plan's seeded
+/// RNG, so a damaging schedule replays exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// Flip `count` independently-chosen bits anywhere in the buffer.
+    BitFlips { count: u32 },
+    /// Cut the buffer at a random point strictly inside it.
+    Truncate,
+    /// Overwrite one randomly-placed `len`-byte window with a copy of
+    /// another (a stale or misdirected block; length is preserved).
+    DuplicateBlock { len: u64 },
+    /// Zero every byte (a lost stripe reading back as holes).
+    ZeroFill,
 }
 
 /// What happens when a rule fires.
@@ -44,6 +65,51 @@ pub enum FaultAction {
     /// prefix (for `WriteAt`), then return [`FsError::Crashed`]. A crashed
     /// process must not retry or clean up — recovery happens at merge time.
     Crash { torn_keep: Option<u64> },
+    /// Silently corrupt the data and report *success* — the caller never
+    /// learns. On `WriteAt` the mutated buffer is what lands on media; on
+    /// `ReadAt` the media is intact and only the returned copy is mutated.
+    /// On ops that move no data it degrades to EIO.
+    Corrupt(CorruptKind),
+}
+
+impl CorruptKind {
+    /// Apply this corruption to `data` in place, drawing positions from
+    /// `rng`. Returns the number of bytes affected (0 = the buffer was too
+    /// small to damage, e.g. an empty file).
+    pub fn apply(&self, data: &mut Vec<u8>, rng: &mut DetRng) -> u64 {
+        if data.is_empty() {
+            return 0;
+        }
+        let len = data.len() as u64;
+        match *self {
+            CorruptKind::BitFlips { count } => {
+                for _ in 0..count {
+                    let byte = rng.below(len) as usize;
+                    let bit = rng.below(8) as u8;
+                    data[byte] ^= 1 << bit;
+                }
+                count as u64
+            }
+            CorruptKind::Truncate => {
+                let keep = rng.below(len) as usize;
+                let cut = data.len() - keep;
+                data.truncate(keep);
+                cut as u64
+            }
+            CorruptKind::DuplicateBlock { len: block } => {
+                let block = (block.max(1)).min(len) as usize;
+                let src = rng.below(len - block as u64 + 1) as usize;
+                let dst = rng.below(len - block as u64 + 1) as usize;
+                let window: Vec<u8> = data[src..src + block].to_vec();
+                data[dst..dst + block].copy_from_slice(&window);
+                block as u64
+            }
+            CorruptKind::ZeroFill => {
+                data.iter_mut().for_each(|b| *b = 0);
+                len
+            }
+        }
+    }
 }
 
 /// One armed fault: operation selector, path filter, scheduling, action.
@@ -95,6 +161,26 @@ impl FaultRule {
             probability: 1.0,
             action: FaultAction::Crash { torn_keep: None },
         }
+    }
+
+    /// Silent corruption on `op` (see [`FaultAction::Corrupt`]). For
+    /// committed-at-rest damage, prefer
+    /// [`crate::FileSystem::corrupt_at_rest`], which needs no armed rule.
+    pub fn corrupt(op: FaultOp, kind: CorruptKind) -> Self {
+        FaultRule {
+            op,
+            path_substr: None,
+            skip: 0,
+            times: None,
+            probability: 1.0,
+            action: FaultAction::Corrupt(kind),
+        }
+    }
+
+    /// Shorthand for [`Self::corrupt`] on the read path: returned bytes are
+    /// damaged, the media stays intact.
+    pub fn corrupt_reads(kind: CorruptKind) -> Self {
+        FaultRule::corrupt(FaultOp::ReadAt, kind)
     }
 
     /// For a crash rule: also persist a `keep`-byte prefix of the buffer.
@@ -213,6 +299,13 @@ impl FaultPlan {
         }
         None
     }
+
+    /// Apply a fired [`FaultAction::Corrupt`] to `data` using the plan's
+    /// RNG stream, so *where* the damage lands replays from `(seed, rules)`
+    /// just like whether it fires. Returns bytes affected.
+    pub fn apply_corruption(&self, kind: &CorruptKind, data: &mut Vec<u8>) -> u64 {
+        kind.apply(data, &mut self.rng.lock())
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +376,66 @@ mod tests {
             plan.decide(FaultOp::WriteAt, "/x"),
             Some(FaultAction::TornWrite { keep: 10 })
         );
+    }
+
+    #[test]
+    fn bit_flips_are_seed_deterministic_and_counted() {
+        let damage = |seed: u64| -> Vec<u8> {
+            let mut rng = DetRng::with_stream(seed, FAULT_STREAM);
+            let mut data = vec![0u8; 64];
+            let n = CorruptKind::BitFlips { count: 3 }.apply(&mut data, &mut rng);
+            assert_eq!(n, 3);
+            data
+        };
+        assert_eq!(damage(9), damage(9), "same seed, same bits");
+        assert_ne!(damage(9), damage(10));
+        let flipped: u32 = damage(9).iter().map(|b| b.count_ones()).sum();
+        assert!(flipped >= 1 && flipped <= 3, "3 flips may collide: {flipped}");
+    }
+
+    #[test]
+    fn truncate_strictly_shrinks_nonempty_buffers() {
+        let mut rng = DetRng::with_stream(4, FAULT_STREAM);
+        for len in [1usize, 2, 17, 400] {
+            let mut data = vec![7u8; len];
+            let cut = CorruptKind::Truncate.apply(&mut data, &mut rng);
+            assert!(data.len() < len, "len {len} not shrunk");
+            assert_eq!(cut as usize, len - data.len());
+        }
+    }
+
+    #[test]
+    fn duplicate_block_preserves_length_and_zero_fill_clears() {
+        let mut rng = DetRng::with_stream(5, FAULT_STREAM);
+        let original: Vec<u8> = (0..100u8).collect();
+        let mut data = original.clone();
+        CorruptKind::DuplicateBlock { len: 16 }.apply(&mut data, &mut rng);
+        assert_eq!(data.len(), 100);
+        let mut zeroed = original.clone();
+        assert_eq!(CorruptKind::ZeroFill.apply(&mut zeroed, &mut rng), 100);
+        assert!(zeroed.iter().all(|&b| b == 0));
+        // Empty buffers are a no-op, never a panic.
+        let mut empty = Vec::new();
+        for kind in [
+            CorruptKind::BitFlips { count: 4 },
+            CorruptKind::Truncate,
+            CorruptKind::DuplicateBlock { len: 8 },
+            CorruptKind::ZeroFill,
+        ] {
+            assert_eq!(kind.apply(&mut empty, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn corrupt_rule_fires_on_reads_only_when_armed_there() {
+        let plan = FaultPlan::new(6);
+        plan.add_rule(FaultRule::corrupt_reads(CorruptKind::BitFlips { count: 1 }));
+        assert_eq!(plan.decide(FaultOp::WriteAt, "/x"), None);
+        assert_eq!(
+            plan.decide(FaultOp::ReadAt, "/x"),
+            Some(FaultAction::Corrupt(CorruptKind::BitFlips { count: 1 }))
+        );
+        assert_eq!(plan.injected(), 1);
     }
 
     #[test]

@@ -8,16 +8,20 @@
 
 use crate::content::FileContent;
 use crate::error::{FsError, FsResult};
-use crate::fault::{FaultAction, FaultOp, FaultPlan};
+use crate::fault::{CorruptKind, FaultAction, FaultOp, FaultPlan};
 use crate::lustre::LustreConfig;
 use parking_lot::{Mutex, RwLock};
-use provio_simrt::SimTime;
+use provio_simrt::{DetRng, SimTime};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 pub type Ino = u64;
 
 const SYMLINK_LIMIT: usize = 40;
+
+/// RNG stream for [`FileSystem::corrupt_at_rest`], distinct from the fault
+/// plan's own stream so rest-time damage never perturbs scheduled faults.
+const REST_CORRUPTION_STREAM: u64 = 0xB172;
 
 /// What kind of object an inode is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -257,6 +261,8 @@ impl FileSystem {
             Some(FaultAction::Fail(e)) => return Err(e),
             Some(FaultAction::TornWrite { .. }) => return Err(FsError::Io),
             Some(FaultAction::Crash { .. }) => return Err(FsError::Crashed),
+            // Creation moves no data to corrupt; degrade to a media error.
+            Some(FaultAction::Corrupt(_)) => return Err(FsError::Io),
             None => {}
         }
         let ino = self.create_file_inner(path, excl, owner, now)?;
@@ -428,6 +434,8 @@ impl FileSystem {
                 FaultAction::Fail(e) => e,
                 FaultAction::TornWrite { .. } => FsError::Io,
                 FaultAction::Crash { .. } => FsError::Crashed,
+                // A rename moves no data to corrupt; degrade to a media error.
+                FaultAction::Corrupt(_) => FsError::Io,
             });
         }
         let ino = self.rename_inner(old, new, now)?;
@@ -613,13 +621,37 @@ impl FileSystem {
     // --- file data -------------------------------------------------------
 
     pub fn read_at(&self, ino: Ino, offset: u64, len: u64) -> FsResult<bytes::Bytes> {
+        let plan = self.faults.read().clone();
+        if let Some(p) = &plan {
+            match p.decide(FaultOp::ReadAt, &self.ino_path(ino)) {
+                Some(FaultAction::Fail(e)) => return Err(e),
+                Some(FaultAction::TornWrite { .. }) => return Err(FsError::Io),
+                Some(FaultAction::Crash { .. }) => return Err(FsError::Crashed),
+                Some(FaultAction::Corrupt(kind)) => {
+                    // Corrupt only the returned copy: the media stays intact,
+                    // modeling a transient read-path (network/cache) flip.
+                    let mut buf = {
+                        let inner = self.inner.read();
+                        let n = inner.inodes.get(&ino).ok_or(FsError::BadFd)?;
+                        n.as_file()?.read(offset, len).to_vec()
+                    };
+                    p.apply_corruption(&kind, &mut buf);
+                    return Ok(bytes::Bytes::from(buf));
+                }
+                None => {}
+            }
+        }
         let inner = self.inner.read();
         let n = inner.inodes.get(&ino).ok_or(FsError::BadFd)?;
         Ok(n.as_file()?.read(offset, len))
     }
 
     pub fn write_at(&self, ino: Ino, offset: u64, data: &[u8], now: SimTime) -> FsResult<()> {
-        match self.fault_decision(FaultOp::WriteAt, &self.ino_path(ino)) {
+        let plan = self.faults.read().clone();
+        let decision = plan
+            .as_ref()
+            .and_then(|p| p.decide(FaultOp::WriteAt, &self.ino_path(ino)));
+        match decision {
             Some(FaultAction::Fail(e)) => return Err(e),
             Some(FaultAction::TornWrite { keep }) => {
                 // Persist only a prefix, then report the media error.
@@ -637,6 +669,15 @@ impl FileSystem {
                     }
                 }
                 return Err(FsError::Crashed);
+            }
+            Some(FaultAction::Corrupt(kind)) => {
+                // Silent corruption: the damaged buffer lands on media and
+                // the write reports success, as a failing disk would.
+                let mut buf = data.to_vec();
+                plan.as_ref()
+                    .expect("decision implies a plan")
+                    .apply_corruption(&kind, &mut buf);
+                return self.write_at_inner(ino, offset, &buf, now);
             }
             None => {}
         }
@@ -670,6 +711,8 @@ impl FileSystem {
             Some(FaultAction::Fail(e)) => return Err(e),
             Some(FaultAction::TornWrite { .. }) => return Err(FsError::Io),
             Some(FaultAction::Crash { .. }) => return Err(FsError::Crashed),
+            // Truncation moves no data to corrupt; degrade to a media error.
+            Some(FaultAction::Corrupt(_)) => return Err(FsError::Io),
             None => {}
         }
         let mut inner = self.inner.write();
@@ -677,6 +720,27 @@ impl FileSystem {
         n.as_file_mut()?.truncate(size);
         n.mtime = now;
         Ok(())
+    }
+
+    /// Damage the committed bytes of `path` in place, as bit rot at rest
+    /// would: no fault rule needs to be armed, no mtime/ctime changes, and
+    /// the next reader sees the corrupted bytes with no error. `seed` makes
+    /// the damage reproducible independently of any installed [`FaultPlan`].
+    /// Returns the number of bytes affected.
+    pub fn corrupt_at_rest(&self, path: &str, kind: &CorruptKind, seed: u64) -> FsResult<u64> {
+        let mut inner = self.inner.write();
+        let ino = Self::resolve_in(&inner, path, true)?;
+        let file = inner
+            .inodes
+            .get_mut(&ino)
+            .ok_or(FsError::NotFound)?
+            .as_file_mut()?;
+        let mut data = file.to_vec();
+        let mut rng = DetRng::with_stream(seed, REST_CORRUPTION_STREAM);
+        let affected = kind.apply(&mut data, &mut rng);
+        file.truncate(0);
+        file.write(0, &data);
+        Ok(affected)
     }
 
     /// Does `[offset, offset+len)` of a regular file overlap real bytes?
@@ -976,6 +1040,64 @@ mod tests {
         fs.create_file("/x/a", false, "u", T0).unwrap();
         fs.create_file("/x/y/c", false, "u", T0).unwrap();
         assert_eq!(fs.walk_files("/x").unwrap(), vec!["/x/a", "/x/b", "/x/y/c"]);
+    }
+
+    #[test]
+    fn corrupt_at_rest_flips_committed_bytes_deterministically() {
+        let run = |seed: u64| -> Vec<u8> {
+            let fs = fs();
+            let ino = fs.create_file("/snap.ttl", false, "u", T0).unwrap();
+            fs.write_at(ino, 0, b"committed provenance bytes", T0).unwrap();
+            let n = fs
+                .corrupt_at_rest("/snap.ttl", &CorruptKind::BitFlips { count: 2 }, seed)
+                .unwrap();
+            assert_eq!(n, 2);
+            fs.read_at(ino, 0, 1 << 16).unwrap().to_vec()
+        };
+        assert_ne!(run(1), b"committed provenance bytes".to_vec());
+        assert_eq!(run(1), run(1), "same seed, same damage");
+        assert_ne!(run(1), run(2));
+        // mtime untouched: bit rot is invisible to metadata.
+        let fs = fs();
+        let ino = fs.create_file("/f", false, "u", T0).unwrap();
+        fs.write_at(ino, 0, b"x", T0).unwrap();
+        let before = fs.stat("/f").unwrap();
+        fs.corrupt_at_rest("/f", &CorruptKind::ZeroFill, 3).unwrap();
+        assert_eq!(fs.stat("/f").unwrap(), before);
+    }
+
+    #[test]
+    fn read_time_corruption_leaves_media_intact() {
+        use crate::fault::{FaultPlan, FaultRule};
+        let fs = fs();
+        let ino = fs.create_file("/seg.nt", false, "u", T0).unwrap();
+        fs.write_at(ino, 0, b"<urn:s> <urn:p> <urn:o> .\n", T0).unwrap();
+        let plan = FaultPlan::new(7);
+        plan.add_rule(
+            FaultRule::corrupt_reads(CorruptKind::BitFlips { count: 1 }).times(1),
+        );
+        fs.install_faults(plan);
+        let clean = b"<urn:s> <urn:p> <urn:o> .\n".to_vec();
+        let first = fs.read_at(ino, 0, 1 << 16).unwrap().to_vec();
+        assert_ne!(first, clean, "armed read returns flipped bytes");
+        // The rule fired once; the next read sees the untouched media.
+        assert_eq!(fs.read_at(ino, 0, 1 << 16).unwrap().to_vec(), clean);
+    }
+
+    #[test]
+    fn write_time_corruption_is_silent_and_persists() {
+        use crate::fault::{FaultPlan, FaultRule, FaultOp};
+        let fs = fs();
+        let ino = fs.create_file("/out.nt", false, "u", T0).unwrap();
+        let plan = FaultPlan::new(11);
+        plan.add_rule(
+            FaultRule::corrupt(FaultOp::WriteAt, CorruptKind::ZeroFill).times(1),
+        );
+        fs.install_faults(plan);
+        // The corrupted write still reports success.
+        fs.write_at(ino, 0, b"abcdef", T0).unwrap();
+        fs.clear_faults();
+        assert_eq!(fs.read_at(ino, 0, 6).unwrap().to_vec(), vec![0u8; 6]);
     }
 
     #[test]

@@ -96,6 +96,7 @@ proptest! {
                 );
                 prop_assert_eq!(fs.file_size(ino).unwrap(), len as u64, "size unchanged");
             }
+            FaultOp::ReadAt => unreachable!("op_pick only draws mutating ops"),
         }
     }
 
@@ -116,6 +117,106 @@ proptest! {
                 .collect()
         };
         prop_assert_eq!(run(seed), run(seed));
+    }
+}
+
+/// End-to-end integrity property over the checksummed store format (the
+/// dev-dependency on `provio-core` is the point: the *filesystem's* bit-rot
+/// faults are exercised against the *store's* on-disk framing).
+mod bit_rot_integrity {
+    use super::*;
+    use provio::{merge_directory, ProvenanceStore, RdfFormat};
+    use provio_hpcfs::CorruptKind;
+    use provio_rdf::{ntriples, Graph, Iri, Subject, Term, Triple};
+    use std::collections::BTreeSet;
+
+    fn triples(start: usize, n: usize) -> Vec<Triple> {
+        (start..start + n)
+            .map(|i| {
+                Triple::new(
+                    Subject::iri(format!("urn:s{i}")),
+                    Iri::new("urn:p"),
+                    Term::iri("urn:o"),
+                )
+            })
+            .collect()
+    }
+
+    fn lines(g: &Graph) -> BTreeSet<String> {
+        ntriples::serialize(g)
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Build a checksummed store and leave its snapshot + delta segments on
+    /// disk (no `finish`, so nothing gets compacted away).
+    fn build_store(fs: &Arc<FileSystem>) {
+        let st = ProvenanceStore::new(
+            Arc::clone(fs),
+            "/prov/prov_p0.nt".to_string(),
+            RdfFormat::NTriples,
+            false,
+        )
+        .with_checksums(true)
+        .with_delta(true, 0);
+        for flush in 0..3 {
+            st.push(triples(flush * 16, 16), None);
+            st.flush(None);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// A single random bit-flip anywhere in any committed checksummed
+        /// file is either detected (quarantine, dropped batch, or chain
+        /// break — and then only verified triples merge) or harmless (the
+        /// merged graph is bit-identical to the fault-free baseline). It
+        /// NEVER silently alters or forges a triple.
+        #[test]
+        fn single_bit_flip_is_detected_or_harmless(
+            seed in any::<u64>(),
+            file_pick in any::<prop::sample::Index>(),
+        ) {
+            let fs = FileSystem::new(LustreConfig::default());
+            build_store(&fs);
+            let (baseline, rb) = merge_directory(&fs, "/prov");
+            prop_assert!(rb.corrupt.is_empty() && rb.quarantined.is_empty());
+            prop_assert_eq!(rb.chain_breaks, 0);
+            let baseline_lines = lines(&baseline);
+
+            let files = fs.walk_files("/prov").unwrap();
+            prop_assert_eq!(files.len(), 3, "snapshot + two delta segments");
+            let victim = &files[file_pick.index(files.len())];
+            let flipped = fs
+                .corrupt_at_rest(victim, &CorruptKind::BitFlips { count: 1 }, seed)
+                .unwrap();
+            prop_assert_eq!(flipped, 1);
+
+            let (merged, report) = merge_directory(&fs, "/prov");
+            let merged_lines = lines(&merged);
+            prop_assert!(
+                merged_lines.is_subset(&baseline_lines),
+                "a bit-flip must never put a triple into the merge that the \
+                 fault-free run would not have produced (victim {}, seed {})",
+                victim,
+                seed
+            );
+            let detected = !report.corrupt.is_empty()
+                || !report.quarantined.is_empty()
+                || report.chain_breaks > 0;
+            if !detected {
+                prop_assert_eq!(
+                    &merged_lines,
+                    &baseline_lines,
+                    "an undetected flip must be harmless: identical merge \
+                     (victim {}, seed {})",
+                    victim,
+                    seed
+                );
+            }
+        }
     }
 }
 

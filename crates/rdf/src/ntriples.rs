@@ -51,6 +51,24 @@ pub fn render_ids<'a, W: std::io::Write>(
     Ok(())
 }
 
+/// The sorted N-Triples lines of the whole graph, without trailing
+/// newlines: joining them with `'\n'` (plus a final one) reproduces
+/// [`serialize`] byte for byte. The store's checksummed write path frames
+/// these batch-by-batch while they are still cache-hot instead of
+/// re-scanning a rendered megabyte blob.
+pub fn sorted_graph_lines(graph: &Graph) -> Vec<String> {
+    sorted_lines(graph.ids_from(0), |id| graph.term_raw(id))
+}
+
+/// The delta-segment variant of [`sorted_graph_lines`]: sorted lines for an
+/// id slice resolved through `term_of`.
+pub fn sorted_id_lines<'a>(
+    ids: &[(u32, u32, u32)],
+    term_of: impl Fn(u32) -> &'a Term,
+) -> Vec<String> {
+    sorted_lines(ids, term_of)
+}
+
 fn sorted_lines<'a>(
     ids: &[(u32, u32, u32)],
     term_of: impl Fn(u32) -> &'a Term,

@@ -73,7 +73,8 @@ pub mod prelude {
     };
     pub use provio_hdf5::{Data, Dataspace, Datatype, Hyperslab, H5};
     pub use provio_hpcfs::{
-        FaultOp, FaultPlan, FaultRule, FileSystem, FsSession, LustreConfig, OpenFlags,
+        CorruptKind, FaultOp, FaultPlan, FaultRule, FileSystem, FsSession, LustreConfig,
+        OpenFlags,
     };
     pub use provio_model::{
         ActivityClass, AgentClass, ClassSelector, EntityClass, ExtensibleClass, Relation,

@@ -1,0 +1,267 @@
+//! End-to-end integrity: a multi-rank workflow writes checksummed
+//! sub-graph stores, bit rot lands on the committed files *after* the run,
+//! and the merge must (a) never put a triple into the merged graph that the
+//! fault-free run would not have produced, and (b) account for every piece
+//! of injected damage — corrupt batches, quarantined files, chain breaks —
+//! in the [`RunReport`].
+
+use prov_io::prelude::*;
+use prov_io::rdf::ntriples;
+use prov_io::simrt::{DetRng, SimTime};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Run a `world_size`-rank workflow whose trackers write checksummed
+/// N-Triples stores with periodic flushing. Ranks in `killed` have their
+/// tracker forgotten instead of finished — the killed process leaves its
+/// snapshot + uncompacted delta segments on disk, which is exactly the
+/// state whose chain the merge must verify.
+fn run_world(world_size: u32, killed: &[u32], checksums: bool) -> Cluster {
+    run_world_with_faults(world_size, killed, checksums, None)
+}
+
+fn run_world_with_faults(
+    world_size: u32,
+    killed: &[u32],
+    checksums: bool,
+    faults: Option<Arc<FaultPlan>>,
+) -> Cluster {
+    let cluster = Cluster::new();
+    if let Some(plan) = faults {
+        cluster.fs.install_faults(plan);
+    }
+    // Through the config-file interface: integrity is a knob, not code.
+    let cfg = ProvIoConfig::from_ini(&format!(
+        "[provio]\n\
+         format = ntriples\n\
+         policy = every:2\n\
+         async = false\n\
+         [store]\n\
+         checksum_format = {checksums}\n"
+    ))
+    .unwrap()
+    .shared();
+    let world = MpiWorld::new(world_size);
+    let outcomes = world.superstep_named("produce", |ctx| {
+        let pid = 500 + ctx.rank;
+        let (_s, h5) = cluster.process(pid, "alice", "integrity", ctx.clock().clone(), Some(&cfg));
+        for i in 0..6 {
+            let f = h5
+                .create_file(&format!("/data_r{}_{i}.h5", ctx.rank))
+                .unwrap();
+            h5.close_file(f).unwrap();
+        }
+    });
+    assert!(outcomes.iter().all(|o| o.is_completed()));
+    for &rank in killed {
+        if let Some(t) = cluster.registry.unregister(500 + rank) {
+            std::mem::forget(t); // killed process: no Drop, no final flush
+        }
+    }
+    cluster.registry.finish_all();
+    cluster
+}
+
+fn read(fs: &Arc<FileSystem>, path: &str) -> Vec<u8> {
+    let ino = fs.lookup(path).unwrap();
+    let md = fs.stat(path).unwrap();
+    fs.read_at(ino, 0, md.size).unwrap().to_vec()
+}
+
+fn lines(g: &prov_io::rdf::Graph) -> BTreeSet<String> {
+    ntriples::serialize(g).lines().map(str::to_string).collect()
+}
+
+#[test]
+fn corrupted_files_are_accounted_exactly_and_never_forge_triples() {
+    // Rank 4 is killed mid-run so its store survives as snapshot + delta
+    // segments; everyone else finishes (and compacts) normally.
+    let cluster = run_world(6, &[4], true);
+    let fs = &cluster.fs;
+
+    let files = fs.walk_files("/provio").unwrap();
+    assert!(files.len() > 6, "rank 4 contributes more than one file");
+    for f in &files {
+        let text = String::from_utf8(read(fs, f)).unwrap();
+        assert!(
+            text.starts_with("# PROVIO1 "),
+            "checksum_format=true frames every store file: {f}"
+        );
+    }
+    let segments: Vec<&String> = files
+        .iter()
+        .filter(|f| f.contains("prov_p504.nt.d"))
+        .collect();
+    assert!(segments.len() >= 2, "killed rank left segments: {files:?}");
+
+    // Fault-free baseline: same directory, before any rot.
+    let (baseline, rb) = merge_directory(fs, "/provio");
+    assert!(rb.corrupt.is_empty() && rb.quarantined.is_empty());
+    assert_eq!(rb.chain_breaks, 0);
+    let baseline_lines = lines(&baseline);
+    let clean_files = rb.files;
+
+    // Injected damage, one of each kind:
+    // 1. rank 2's snapshot rots to all-zeroes — unrecoverable content;
+    let zeroed = "/provio/prov_p502.nt";
+    fs.corrupt_at_rest(zeroed, &CorruptKind::ZeroFill, 1).unwrap();
+    // 2. a middle delta segment of rank 4's store loses its tail — the
+    //    footer is gone, so identity can't verify, and its ordinal leaves a
+    //    hole in the store's chain.
+    let torn = segments[segments.len() / 2].clone();
+    let ino = fs.lookup(&torn).unwrap();
+    let size = fs.file_size(ino).unwrap();
+    fs.truncate_ino(ino, size / 3, SimTime::ZERO).unwrap();
+
+    let (merged, mrep) = merge_directory(fs, "/provio");
+    let merged_lines = lines(&merged);
+
+    // (a) No forgery: everything merged existed in the fault-free run.
+    assert!(merged_lines.is_subset(&baseline_lines));
+    assert!(
+        merged_lines.len() < baseline_lines.len(),
+        "the damage actually cost triples"
+    );
+
+    // (b) Exact accounting: one corrupt file, one quarantined file, one
+    // chain break — nothing more, nothing less.
+    assert_eq!(mrep.corrupt, vec![zeroed.to_string()]);
+    assert_eq!(mrep.quarantined, vec![torn.clone()]);
+    assert_eq!(mrep.chain_breaks, 1, "the quarantined ordinal is a hole");
+    assert_eq!(mrep.files, clean_files - 2);
+    assert!(fs.exists(&format!("{torn}.quarantine")));
+
+    let mut report = RunReport::new(6);
+    report.attach_merge(clean_files, &mrep);
+    assert_eq!(report.corrupt_files, 1);
+    assert_eq!(report.quarantined_files, 1);
+    assert_eq!(report.chain_breaks, 1);
+    assert!(!report.is_complete());
+    let expected = (clean_files - 2) as f64 / clean_files as f64;
+    assert!((report.completeness() - expected).abs() < 1e-9);
+    assert!(report.to_string().contains("1 chain breaks"));
+
+    // Idempotent re-merge: the quarantined file stays condemned (not
+    // re-reported, not re-renamed), the zeroed file is still honestly
+    // corrupt, and the chain hole remains visible.
+    let (again, r2) = merge_directory(fs, "/provio");
+    assert!(r2.quarantined.is_empty());
+    assert_eq!(r2.corrupt, vec![zeroed.to_string()]);
+    assert_eq!(r2.chain_breaks, 1, "the hole in history does not heal");
+    assert_eq!(lines(&again), merged_lines);
+    assert!(!fs.exists(&format!("{torn}.quarantine.quarantine")));
+
+    // What survived is still structurally consistent per-file: the doctor
+    // may flag cross-file orphan edges (a zeroed store takes its nodes with
+    // it) but must not find duplicate GUIDs or forged classes.
+    let dr = doctor(&merged);
+    assert!(dr.duplicate_guids.is_empty(), "no forged identities: {dr:?}");
+}
+
+/// Corruption can also be *scheduled*, not just applied at rest: a
+/// [`FaultPlan`] rule arms silent write-path corruption (a failing
+/// controller damaging buffers in flight), so every flush rank 1 commits
+/// lands rotten on media while the write reports success. The guarantees
+/// are the same — no forged triples, damage attributed to the faulted
+/// store — exercised through the scheduler rather than post-hoc mutation.
+#[test]
+fn scheduled_write_corruption_is_detected_and_attributed() {
+    let baseline_cluster = run_world(4, &[], true);
+    let (baseline, rb) = merge_directory(&baseline_cluster.fs, "/provio");
+    assert!(rb.corrupt.is_empty() && rb.quarantined.is_empty());
+
+    let plan = FaultPlan::new(77).with_rule(
+        FaultRule::corrupt(FaultOp::WriteAt, CorruptKind::BitFlips { count: 8 })
+            .on_path("prov_p501"),
+    );
+    let cluster = run_world_with_faults(4, &[], true, Some(Arc::clone(&plan)));
+    assert!(plan.injected() > 0, "the schedule actually fired");
+
+    let (merged, report) = merge_directory(&cluster.fs, "/provio");
+    // Timing properties are excluded from cross-run comparison: virtual I/O
+    // costs depend on global filesystem load, which two separate runs need
+    // not reproduce exactly. Everything structural must match.
+    let timing = |iri: &str| iri.ends_with("#timestamp") || iri.ends_with("#elapsed");
+    let structural = |g: &prov_io::rdf::Graph| -> BTreeSet<String> {
+        g.iter()
+            .filter(|t| !timing(t.predicate.as_str()))
+            .map(|t| t.to_string())
+            .collect()
+    };
+    let baseline_lines = structural(&baseline);
+    let merged_lines = structural(&merged);
+    assert!(
+        merged_lines.is_subset(&baseline_lines),
+        "in-flight corruption must never forge a triple"
+    );
+    let detected =
+        !report.corrupt.is_empty() || !report.quarantined.is_empty() || report.chain_breaks > 0;
+    assert!(
+        detected || merged_lines == baseline_lines,
+        "undetected corruption must be harmless"
+    );
+    // Damage is attributed to the faulted store, never its neighbors.
+    for p in report.corrupt.iter().chain(report.quarantined.iter()) {
+        assert!(p.contains("prov_p501"), "misattributed damage: {p}");
+    }
+    // Every committed file is accounted for exactly once.
+    assert_eq!(report.files + report.quarantined.len(), rb.files);
+}
+
+/// Seeded corruption sweep, parameterized by environment for the CI
+/// matrix: `PROVIO_CORRUPT_SEED`, `PROVIO_CORRUPT_FLIPS` (bit flips per
+/// affected file), `PROVIO_CORRUPT_FORMAT` (`framed` | `legacy`).
+#[test]
+fn seeded_corruption_sweep_detects_or_tolerates_every_flip() {
+    let env_u64 = |k: &str, d: u64| {
+        std::env::var(k)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(d)
+    };
+    let seed = env_u64("PROVIO_CORRUPT_SEED", 11);
+    let flips = env_u64("PROVIO_CORRUPT_FLIPS", 1);
+    let framed = std::env::var("PROVIO_CORRUPT_FORMAT").as_deref() != Ok("legacy");
+
+    let cluster = run_world(4, &[3], framed);
+    let fs = &cluster.fs;
+    let (baseline, rb) = merge_directory(fs, "/provio");
+    assert!(rb.corrupt.is_empty() && rb.quarantined.is_empty());
+    let baseline_lines = lines(&baseline);
+
+    // Rot hits roughly half the committed files, `flips` bit flips each.
+    let mut rng = DetRng::new(seed);
+    let mut hit = 0u32;
+    for f in fs.walk_files("/provio").unwrap() {
+        if rng.chance(0.5) {
+            fs.corrupt_at_rest(&f, &CorruptKind::BitFlips { count: flips as u32 }, rng.u64())
+                .unwrap();
+            hit += 1;
+        }
+    }
+    assert!(hit > 0, "seed {seed} corrupted nothing — widen the sweep");
+
+    let (merged, report) = merge_directory(fs, "/provio");
+    if framed {
+        // The integrity guarantee: flips are detected or harmless.
+        let merged_lines = lines(&merged);
+        assert!(
+            merged_lines.is_subset(&baseline_lines),
+            "forged triple under seed {seed} x{flips}"
+        );
+        let detected = !report.corrupt.is_empty()
+            || !report.quarantined.is_empty()
+            || report.chain_breaks > 0;
+        if !detected {
+            assert_eq!(merged_lines, baseline_lines, "undetected flips must be harmless");
+        }
+    } else {
+        // Legacy ablation: the merge survives and stays honest about what
+        // it could not read, but unframed files cannot promise more — a
+        // flipped triple can merge silently. (That asymmetry is the point
+        // of the checksummed format.)
+        assert!(report.quarantined.is_empty(), "legacy files never quarantine");
+        assert_eq!(report.chain_breaks, 0, "no chains without frames");
+        assert!(report.files + report.corrupt.len() <= rb.files + report.recovered.len());
+    }
+}

@@ -1,0 +1,182 @@
+//! Offline shim of the `crc32fast` crate: IEEE CRC-32 (the zlib/gzip/PNG
+//! polynomial, reflected 0xEDB88320) with the slice-by-16 table method.
+//!
+//! The workspace vendors this so the provenance store's checksummed file
+//! format needs no registry access; swap the path dependency for the real
+//! crate to get SIMD acceleration back. The API surface matches what the
+//! workspace uses: [`hash`] and the streaming [`Hasher`].
+//!
+//! CRC-32 detects every single-bit error and every error burst up to 32
+//! bits, which is exactly the guarantee the store's per-batch frames lean
+//! on: a seeded bit-flip anywhere in a framed batch can never verify.
+
+/// Sixteen lookup tables, 256 entries each: `TABLES[0]` is the classic
+/// byte-at-a-time table, `TABLES[k]` advances a byte through `k` further
+/// zero bytes, letting the hot loop fold sixteen input bytes per iteration
+/// (16 KiB of tables — comfortably L1-resident).
+static TABLES: [[u32; 256]; 16] = build_tables();
+
+const fn build_tables() -> [[u32; 256]; 16] {
+    let mut tables = [[0u32; 256]; 16];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 16 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+fn update(mut crc: u32, mut data: &[u8]) -> u32 {
+    // Slice-by-16: fold sixteen input bytes per iteration, the first four
+    // combined with the running CRC.
+    while data.len() >= 16 {
+        let lo = crc ^ u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+        crc = TABLES[15][(lo & 0xFF) as usize]
+            ^ TABLES[14][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[13][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[12][((lo >> 24) & 0xFF) as usize]
+            ^ TABLES[11][data[4] as usize]
+            ^ TABLES[10][data[5] as usize]
+            ^ TABLES[9][data[6] as usize]
+            ^ TABLES[8][data[7] as usize]
+            ^ TABLES[7][data[8] as usize]
+            ^ TABLES[6][data[9] as usize]
+            ^ TABLES[5][data[10] as usize]
+            ^ TABLES[4][data[11] as usize]
+            ^ TABLES[3][data[12] as usize]
+            ^ TABLES[2][data[13] as usize]
+            ^ TABLES[1][data[14] as usize]
+            ^ TABLES[0][data[15] as usize];
+        data = &data[16..];
+    }
+    // Slice-by-8 on the 8..16-byte remainder, then byte-at-a-time.
+    if data.len() >= 8 {
+        let lo = crc ^ u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][((lo >> 24) & 0xFF) as usize]
+            ^ TABLES[3][data[4] as usize]
+            ^ TABLES[2][data[5] as usize]
+            ^ TABLES[1][data[6] as usize]
+            ^ TABLES[0][data[7] as usize];
+        data = &data[8..];
+    }
+    for &b in data {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn hash(data: &[u8]) -> u32 {
+    !update(!0, data)
+}
+
+/// Streaming CRC-32, matching `crc32fast::Hasher`.
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    state: u32,
+}
+
+impl Hasher {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Hasher { state: !0 }
+    }
+
+    /// Resume from a previously finalized checksum.
+    pub fn new_with_initial(init: u32) -> Self {
+        Hasher { state: !init }
+    }
+
+    pub fn update(&mut self, data: &[u8]) {
+        self.state = update(self.state, data);
+    }
+
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+
+    pub fn reset(&mut self) {
+        self.state = !0;
+    }
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Hasher::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published IEEE CRC-32 check values.
+        assert_eq!(hash(b""), 0);
+        assert_eq!(hash(b"123456789"), 0xCBF4_3926);
+        assert_eq!(hash(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(hash(&[0u8; 32]), 0x190A_55AD);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..1024u32).map(|i| (i * 7 + 3) as u8).collect();
+        for split in [0, 1, 7, 8, 9, 63, 512, 1024] {
+            let mut h = Hasher::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), hash(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_changes_the_checksum() {
+        let data = b"provio frame payload: <urn:s> <urn:p> <urn:o> .\n";
+        let base = hash(data);
+        let mut copy = data.to_vec();
+        for byte in 0..copy.len() {
+            for bit in 0..8 {
+                copy[byte] ^= 1 << bit;
+                assert_ne!(hash(&copy), base, "flip at {byte}:{bit} undetected");
+                copy[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn reset_and_resume() {
+        let mut h = Hasher::new();
+        h.update(b"garbage");
+        h.reset();
+        h.update(b"123456789");
+        assert_eq!(h.finalize(), 0xCBF4_3926);
+        let first = hash(b"abc");
+        let mut resumed = Hasher::new_with_initial(first);
+        resumed.update(b"def");
+        assert_eq!(resumed.finalize(), hash(b"abcdef"));
+    }
+}
