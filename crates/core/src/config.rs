@@ -139,6 +139,18 @@ pub struct ProvIoConfig {
     /// them batch by batch. `false` (the default) writes the legacy
     /// unframed format.
     pub checksum_format: bool,
+    /// Keep a per-process write-ahead journal next to the store file
+    /// (`[store] wal`). Tracked triples are appended to the journal in
+    /// group commits of `wal_group` records *before* they are visible only
+    /// in memory awaiting the next flush; after a crash the merge replays
+    /// the journal above the last committed snapshot/segment watermark, so
+    /// loss per crashed rank is bounded by `wal_group` records instead of
+    /// "everything since the last flush". `false` (the default) preserves
+    /// the flush-boundary-only durability of earlier revisions.
+    pub wal: bool,
+    /// Records per WAL group commit (`[store] wal_group`; must be ≥ 1).
+    /// 1 = commit every record (strongest bound, highest overhead).
+    pub wal_group: u32,
     /// Evaluation budget for SPARQL queries run through the engine, in
     /// produced bindings/visited path nodes (`[query] query_budget`;
     /// 0 = unlimited). A runaway query over a corrupted graph terminates
@@ -160,6 +172,12 @@ pub const DEFAULT_QUEUE_CAPACITY: u64 = 1024;
 /// [`ProvIoConfig::breaker_backoff_ns`]): 100 ms of modeled time.
 pub const DEFAULT_BREAKER_BACKOFF_NS: u64 = 100_000_000;
 
+/// Default WAL group-commit size, in records (see
+/// [`ProvIoConfig::wal_group`]). 64 matches the store's N-Triples batch
+/// granularity: small enough that a crashed rank loses at most one short
+/// burst of records, large enough to amortize the journal append.
+pub const DEFAULT_WAL_GROUP: u32 = 64;
+
 impl Default for ProvIoConfig {
     fn default() -> Self {
         ProvIoConfig {
@@ -178,6 +196,8 @@ impl Default for ProvIoConfig {
             breaker_threshold: 0,
             breaker_backoff_ns: DEFAULT_BREAKER_BACKOFF_NS,
             checksum_format: false,
+            wal: false,
+            wal_group: DEFAULT_WAL_GROUP,
             query_budget: 0,
         }
     }
@@ -263,6 +283,14 @@ impl ProvIoConfig {
         self
     }
 
+    /// Enable the write-ahead journal with the given group-commit size
+    /// (`group` is clamped up to 1; see [`ProvIoConfig::wal_group`]).
+    pub fn with_wal(mut self, enabled: bool, group: u32) -> Self {
+        self.wal = enabled;
+        self.wal_group = group.max(1);
+        self
+    }
+
     /// Cap SPARQL evaluation work (0 = unlimited).
     pub fn with_query_budget(mut self, budget: u64) -> Self {
         self.query_budget = budget;
@@ -282,6 +310,8 @@ impl ProvIoConfig {
     /// `overload_policy` (`block` | `shed`), `breaker_threshold` (`<n>`
     /// consecutive failures, 0 = disabled), `breaker_backoff_ns`,
     /// `checksum_format` (`true`/`false`, framed checksummed store files),
+    /// `wal` (`true`/`false`, per-process write-ahead journal),
+    /// `wal_group` (`<n>` records per WAL group commit, must be ≥ 1),
     /// `query_budget` (`<n>` evaluation steps, 0 = unlimited),
     /// `workflow_type`, `preset` (one of the Table 3 presets),
     /// and `track`/`untrack` with a comma-separated item list
@@ -350,6 +380,22 @@ impl ProvIoConfig {
                     cfg.checksum_format = value
                         .parse()
                         .map_err(|_| format!("line {}: bad bool", lineno + 1))?
+                }
+                "wal" => {
+                    cfg.wal = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad bool", lineno + 1))?
+                }
+                "wal_group" => {
+                    cfg.wal_group = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad integer", lineno + 1))?;
+                    if cfg.wal_group == 0 {
+                        return Err(format!(
+                            "line {}: wal_group must be >= 1",
+                            lineno + 1
+                        ));
+                    }
                 }
                 "query_budget" => {
                     cfg.query_budget = value
@@ -584,6 +630,33 @@ mod tests {
         let c = ProvIoConfig::from_ini("[store]\nchecksum_format = true\n").unwrap();
         assert!(c.checksum_format);
         assert!(ProvIoConfig::from_ini("checksum_format = sure").is_err());
+    }
+
+    #[test]
+    fn wal_knobs_default_builder_and_ini() {
+        let c = ProvIoConfig::default();
+        assert!(!c.wal, "journal off unless asked");
+        assert_eq!(c.wal_group, DEFAULT_WAL_GROUP);
+
+        let c = ProvIoConfig::default().with_wal(true, 16);
+        assert!(c.wal);
+        assert_eq!(c.wal_group, 16);
+        // The builder clamps a nonsensical group size instead of storing 0.
+        assert_eq!(ProvIoConfig::default().with_wal(true, 0).wal_group, 1);
+
+        let c = ProvIoConfig::from_ini("[store]\nwal = true\nwal_group = 8\n").unwrap();
+        assert!(c.wal);
+        assert_eq!(c.wal_group, 8);
+
+        // Round-trip of just `wal` keeps the default group size.
+        let c = ProvIoConfig::from_ini("wal = true\n").unwrap();
+        assert!(c.wal);
+        assert_eq!(c.wal_group, DEFAULT_WAL_GROUP);
+
+        assert!(ProvIoConfig::from_ini("wal = maybe").is_err());
+        assert!(ProvIoConfig::from_ini("wal_group = many").is_err());
+        let err = ProvIoConfig::from_ini("wal = true\nwal_group = 0\n").unwrap_err();
+        assert!(err.contains("wal_group must be >= 1"), "err: {err}");
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub const CHAIN_START: u32 = 0;
 pub enum FrameKind {
     Snapshot,
     Delta,
+    /// One group commit of the write-ahead journal. WAL chunks are framed
+    /// like segments but live outside the snapshot/segment commit chain:
+    /// their `ordinal` is the *record* ordinal of the chunk's first journal
+    /// record, and `prev` chains chunks within one journal generation file.
+    Wal,
 }
 
 impl FrameKind {
@@ -67,6 +72,7 @@ impl FrameKind {
         match self {
             FrameKind::Snapshot => "snapshot",
             FrameKind::Delta => "delta",
+            FrameKind::Wal => "wal",
         }
     }
 
@@ -74,6 +80,7 @@ impl FrameKind {
         match s {
             "snapshot" => Some(FrameKind::Snapshot),
             "delta" => Some(FrameKind::Delta),
+            "wal" => Some(FrameKind::Wal),
             _ => None,
         }
     }
@@ -130,8 +137,9 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// The GUID of the store a file at `path` belongs to: the FNV-1a hash of
 /// the snapshot path, with `.tmp`/`.quarantine` wrappers and the delta
-/// segment suffix (`.dNNNNNN.nt`) stripped, so a snapshot and all of its
-/// segments claim the same GUID.
+/// segment (`.dNNNNNN.nt`) or WAL generation (`.wNNNNNN.nt`) suffix
+/// stripped, so a snapshot, all of its segments, and its journal claim the
+/// same GUID.
 pub fn store_guid(path: &str) -> u64 {
     fnv1a64(base_store_path(path).as_bytes())
 }
@@ -148,12 +156,12 @@ pub fn base_store_path(path: &str) -> &str {
             break;
         }
     }
-    // `<snapshot>.dNNNNNN.nt` → `<snapshot>`
+    // `<snapshot>.dNNNNNN.nt` / `<snapshot>.wNNNNNN.nt` → `<snapshot>`
     if let Some(rest) = p.strip_suffix(".nt") {
         if rest.len() >= 8 {
             let (head, seq) = rest.split_at(rest.len() - 7);
             if head.ends_with('.')
-                && seq.starts_with('d')
+                && (seq.starts_with('d') || seq.starts_with('w'))
                 && seq[1..].bytes().all(|b| b.is_ascii_digit())
             {
                 return &head[..head.len() - 1];
@@ -161,6 +169,30 @@ pub fn base_store_path(path: &str) -> &str {
         }
     }
     p
+}
+
+/// Is `path` a WAL generation file (`<snapshot>.wNNNNNN.nt`, possibly
+/// wrapped in commit-protocol suffixes)?
+pub fn is_wal_path(path: &str) -> bool {
+    let mut p = path;
+    loop {
+        if let Some(rest) = p.strip_suffix(".tmp") {
+            p = rest;
+        } else if let Some(rest) = p.strip_suffix(".quarantine") {
+            p = rest;
+        } else {
+            break;
+        }
+    }
+    if let Some(rest) = p.strip_suffix(".nt") {
+        if rest.len() >= 8 {
+            let (head, seq) = rest.split_at(rest.len() - 7);
+            return head.ends_with('.')
+                && seq.starts_with('w')
+                && seq[1..].bytes().all(|b| b.is_ascii_digit());
+        }
+    }
+    false
 }
 
 /// Frame `payload` (a complete RDF serialization) into the checksummed
@@ -285,6 +317,34 @@ impl Encoder {
             self.out.extend_from_slice(l.as_ref().as_bytes());
             self.out.push(b'\n');
         }
+        let crc = crc32(&self.out[body_at..]);
+        let mut hex = [0u8; 8];
+        for (i, b) in hex.iter_mut().enumerate() {
+            *b = b"0123456789abcdef"[((crc >> (28 - 4 * i)) & 0xF) as usize];
+        }
+        self.out[crc_at..crc_at + 8].copy_from_slice(&hex);
+        self.batches += 1;
+    }
+
+    /// Append one batch whose payload is already a newline-terminated
+    /// block of `lines` lines: byte-identical to [`Encoder::batch`] over
+    /// the split lines, but CRC'd and copied in a single pass with no
+    /// per-line walk — the write-ahead journal's track-path shape.
+    pub fn batch_block(&mut self, block: &str, lines: usize) {
+        if lines == 0 {
+            return;
+        }
+        debug_assert_eq!(block.lines().count(), lines);
+        debug_assert!(block.ends_with('\n'), "block lines are newline-terminated");
+        debug_assert!(
+            !block.lines().any(|l| l.starts_with("#~")),
+            "payload line collides with the reserved frame sigil"
+        );
+        let _ = write!(self.out, "{BATCH_SIGIL} lines={lines} crc=");
+        let crc_at = self.out.len();
+        self.out.extend_from_slice(b"00000000\n");
+        let body_at = self.out.len();
+        self.out.extend_from_slice(block.as_bytes());
         let crc = crc32(&self.out[body_at..]);
         let mut hex = [0u8; 8];
         for (i, b) in hex.iter_mut().enumerate() {
@@ -464,6 +524,79 @@ pub fn decode(text: &str) -> Result<FramedFile, FrameError> {
     })
 }
 
+/// A decoded WAL generation file: the verified prefix of its group-commit
+/// chunks, and whether a damaged or torn tail was cut off.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalFile {
+    /// Journal records from every chunk that verified, in append order:
+    /// `(record ordinal, N-Triples line)`.
+    pub records: Vec<(u64, String)>,
+    /// Chunks that decoded and chained cleanly.
+    pub chunks: usize,
+    /// True when a torn, bit-rotted, mis-chained, or foreign-guid tail was
+    /// truncated (everything from the first bad chunk on is dropped).
+    pub truncated: bool,
+}
+
+/// Decode a WAL generation file: a concatenation of [`FrameKind::Wal`]
+/// frames, each one group commit appended in place. Unlike [`decode`],
+/// damage never quarantines the whole file — the journal's value is its
+/// verified *prefix*. Chunks are accepted until the first one that fails to
+/// decode, fails batch verification, claims a foreign `guid`, is not
+/// [`FrameKind::Wal`], breaks the intra-file chain (`prev` must equal the
+/// previous chunk's `chain`, [`CHAIN_START`] for the first), or regresses
+/// the record ordinal; that chunk and everything after it are truncated and
+/// reported, never parsed.
+pub fn decode_wal(text: &str, guid: u64) -> WalFile {
+    let mut out = WalFile::default();
+    let mut chain = CHAIN_START;
+    let mut next_record = 0u64;
+    let mut rest = text;
+    while !rest.trim().is_empty() {
+        // One chunk runs through its footer line; a remainder with no
+        // footer is a torn tail.
+        let mut end = None;
+        let mut offset = 0usize;
+        for line in rest.split_inclusive('\n') {
+            offset += line.len();
+            if line.trim_end().starts_with(FOOTER_SIGIL) {
+                end = Some(offset);
+                break;
+            }
+        }
+        let Some(end) = end else {
+            out.truncated = true;
+            break;
+        };
+        let chunk = match decode(&rest[..end]) {
+            Ok(f) => f,
+            Err(_) => {
+                out.truncated = true;
+                break;
+            }
+        };
+        let continuous = chunk.intact()
+            && chunk.kind == FrameKind::Wal
+            && chunk.guid == guid
+            && chunk.prev == chain
+            && chunk.ordinal >= next_record;
+        if !continuous {
+            out.truncated = true;
+            break;
+        }
+        for (i, line) in chunk.payload.lines().enumerate() {
+            out.records.push((chunk.ordinal + i as u64, line.to_string()));
+        }
+        next_record = chunk
+            .ordinal
+            .saturating_add(chunk.payload.lines().count() as u64);
+        chain = chunk.chain;
+        out.chunks += 1;
+        rest = &rest[end..];
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -594,12 +727,115 @@ mod tests {
             "/provio/prov_p1.nt.d000003.nt.tmp",
             "/provio/prov_p1.nt.quarantine",
             "/provio/prov_p1.nt.d000011.nt.quarantine",
+            "/provio/prov_p1.nt.w000000.nt",
+            "/provio/prov_p1.nt.w000002.nt.tmp",
+            "/provio/prov_p1.nt.w000002.nt.quarantine",
         ] {
             assert_eq!(store_guid(p), base, "{p}");
         }
         assert_ne!(store_guid("/provio/prov_p2.nt"), base);
         // A name that merely resembles a segment suffix is left alone.
         assert_ne!(store_guid("/provio/d000001.nt"), base);
+        // Turtle stores journal too: `prov_p1.ttl.w000000.nt` → `prov_p1.ttl`.
+        assert_eq!(
+            store_guid("/provio/prov_p1.ttl.w000001.nt"),
+            store_guid("/provio/prov_p1.ttl")
+        );
+    }
+
+    #[test]
+    fn wal_paths_are_recognized() {
+        assert!(is_wal_path("/provio/prov_p1.nt.w000000.nt"));
+        assert!(is_wal_path("/provio/prov_p1.ttl.w000123.nt"));
+        assert!(is_wal_path("/provio/prov_p1.nt.w000000.nt.tmp"));
+        assert!(!is_wal_path("/provio/prov_p1.nt"));
+        assert!(!is_wal_path("/provio/prov_p1.nt.d000001.nt"));
+        assert!(!is_wal_path("/provio/w000001.nt"));
+    }
+
+    fn wal_chunk(guid: u64, ordinal: u64, prev: u32, lines: &[&str]) -> (Vec<u8>, u32) {
+        let mut enc = Encoder::new(FrameKind::Wal, guid, ordinal, prev);
+        enc.batch(lines);
+        enc.finish()
+    }
+
+    #[test]
+    fn wal_round_trip_across_chunks() {
+        let guid = store_guid("/provio/prov_p1.nt");
+        let (c0, ch0) = wal_chunk(guid, 0, CHAIN_START, &["<urn:s0> <urn:p> <urn:o> .", "<urn:s1> <urn:p> <urn:o> ."]);
+        let (c1, _) = wal_chunk(guid, 2, ch0, &["<urn:s2> <urn:p> <urn:o> ."]);
+        let mut text = c0.clone();
+        text.extend_from_slice(&c1);
+        let wal = decode_wal(std::str::from_utf8(&text).unwrap(), guid);
+        assert!(!wal.truncated);
+        assert_eq!(wal.chunks, 2);
+        assert_eq!(
+            wal.records,
+            vec![
+                (0, "<urn:s0> <urn:p> <urn:o> .".to_string()),
+                (1, "<urn:s1> <urn:p> <urn:o> .".to_string()),
+                (2, "<urn:s2> <urn:p> <urn:o> .".to_string()),
+            ]
+        );
+        // An empty journal decodes to nothing, cleanly.
+        let empty = decode_wal("", guid);
+        assert_eq!(empty.chunks, 0);
+        assert!(!empty.truncated);
+    }
+
+    #[test]
+    fn wal_torn_and_bit_rotted_tails_are_truncated_never_parsed() {
+        let guid = store_guid("/provio/prov_p1.nt");
+        let (c0, ch0) = wal_chunk(guid, 0, CHAIN_START, &["<urn:s0> <urn:p> <urn:o> ."]);
+        let (c1, _) = wal_chunk(guid, 1, ch0, &["<urn:s1> <urn:p> <urn:o> ."]);
+
+        // Torn tail: the second append only partially persisted.
+        let mut torn = c0.clone();
+        torn.extend_from_slice(&c1[..c1.len() / 2]);
+        let wal = decode_wal(&String::from_utf8_lossy(&torn), guid);
+        assert!(wal.truncated);
+        assert_eq!(wal.chunks, 1);
+        assert_eq!(wal.records.len(), 1);
+
+        // Bit-rotted tail: every single-bit flip in the last chunk either
+        // leaves the verified prefix intact or truncates — no flip ever
+        // admits an altered record.
+        let mut full = c0.clone();
+        full.extend_from_slice(&c1);
+        for i in c0.len()..full.len() {
+            for bit in 0..8 {
+                let mut copy = full.clone();
+                copy[i] ^= 1 << bit;
+                let wal = decode_wal(&String::from_utf8_lossy(&copy), guid);
+                for (_, line) in &wal.records {
+                    assert!(
+                        line == "<urn:s0> <urn:p> <urn:o> ." || line == "<urn:s1> <urn:p> <urn:o> .",
+                        "flip {i}:{bit} admitted forged record {line:?}"
+                    );
+                }
+                assert!(
+                    wal.truncated || wal.records.len() == 2,
+                    "flip {i}:{bit} silently dropped a record"
+                );
+            }
+        }
+
+        // A chunk from another store's journal truncates the replay there.
+        let foreign = store_guid("/provio/prov_p2.nt");
+        let (evil, _) = wal_chunk(foreign, 1, ch0, &["<urn:evil> <urn:p> <urn:o> ."]);
+        let mut sub = c0.clone();
+        sub.extend_from_slice(&evil);
+        let wal = decode_wal(&String::from_utf8_lossy(&sub), guid);
+        assert!(wal.truncated);
+        assert_eq!(wal.records.len(), 1);
+
+        // A chain break (replayed/reordered chunk) truncates too.
+        let (stale, _) = wal_chunk(guid, 1, 0xdead_beef, &["<urn:s1> <urn:p> <urn:o> ."]);
+        let mut reordered = c0.clone();
+        reordered.extend_from_slice(&stale);
+        let wal = decode_wal(&String::from_utf8_lossy(&reordered), guid);
+        assert!(wal.truncated);
+        assert_eq!(wal.chunks, 1);
     }
 
     #[test]
@@ -622,6 +858,21 @@ mod tests {
         let (empty, _) = encode(FrameKind::Snapshot, guid, 0, CHAIN_START, "", 64);
         let (streamed, _) = Encoder::new(FrameKind::Snapshot, guid, 0, CHAIN_START).finish();
         assert_eq!(streamed, empty.into_bytes());
+    }
+
+    #[test]
+    fn batch_block_is_byte_identical_to_batch() {
+        let guid = store_guid("/provio/prov_p3.nt");
+        let lines: Vec<&str> = PAYLOAD.lines().collect();
+        let mut by_lines = Encoder::new(FrameKind::Wal, guid, 7, CHAIN_START);
+        by_lines.batch(&lines);
+        let (split, split_chain) = by_lines.finish();
+        let mut by_block = Encoder::new(FrameKind::Wal, guid, 7, CHAIN_START);
+        let block = format!("{}\n", PAYLOAD.trim_end_matches('\n'));
+        by_block.batch_block(&block, lines.len());
+        let (blocked, block_chain) = by_block.finish();
+        assert_eq!(blocked, split);
+        assert_eq!(block_chain, split_chain);
     }
 
     #[test]

@@ -48,6 +48,16 @@ pub struct MergeReport {
     /// that does not match the predecessor's chain — each evidence that
     /// committed history was lost, reordered, or replaced.
     pub chain_breaks: u64,
+    /// Triples recovered from write-ahead journals: records journaled by a
+    /// store but never covered by a committed snapshot or delta segment
+    /// (the writer crashed or its flushes were dropped), replayed into the
+    /// merged graph. Counted only when the replay actually added a triple,
+    /// so re-merging the same directory never double-counts.
+    pub replayed_triples: usize,
+    /// Journal generation files whose tail was torn or bit-rotted: the
+    /// damaged suffix is truncated at the last verified chunk boundary and
+    /// never parsed, while the intact prefix still replays.
+    pub wal_tails_truncated: u64,
 }
 
 #[derive(Clone, Copy)]
@@ -159,6 +169,13 @@ enum Outcome {
     /// it, never parse it. `substituted` marks a GUID claiming a different
     /// store (counted as a chain break on top of the quarantine).
     Quarantine { substituted: bool },
+    /// A write-ahead journal generation file: the verified records of its
+    /// intact prefix, to be replayed above the store's committed watermark
+    /// once every committed file has folded.
+    Wal {
+        records: Vec<(u64, String)>,
+        truncated: bool,
+    },
 }
 
 /// Read and parse (or salvage) one file into a scratch graph. Pure function
@@ -178,6 +195,12 @@ fn process_file(fs: &Arc<FileSystem>, path: &str, committed: &HashSet<&str>) -> 
     if path.ends_with(".quarantine") {
         return Outcome::Skipped;
     }
+    let is_wal = frame::is_wal_path(path);
+    if is_wal && path.ends_with(".tmp") {
+        // A journal generation tmp left by an interrupted create: it was
+        // never promoted to a named generation, so it holds no records.
+        return Outcome::Skipped;
+    }
     let adopted_tmp = match path.strip_suffix(".tmp") {
         Some(base) if committed.contains(base) => return Outcome::Skipped, // commit wins
         Some(_) => true,
@@ -193,8 +216,23 @@ fn process_file(fs: &Arc<FileSystem>, path: &str, committed: &HashSet<&str>) -> 
         return Outcome::Skipped;
     };
     let Ok(text) = String::from_utf8(bytes.to_vec()) else {
+        if is_wal {
+            // Rot severe enough to break UTF-8: the whole journal tail is
+            // condemned, nothing is ever parsed out of it.
+            return Outcome::Wal {
+                records: Vec::new(),
+                truncated: true,
+            };
+        }
         return Outcome::Corrupt;
     };
+    if is_wal {
+        let wal = frame::decode_wal(&text, frame::store_guid(path));
+        return Outcome::Wal {
+            records: wal.records,
+            truncated: wal.truncated,
+        };
+    }
     let format = format_of(path.strip_suffix(".tmp").unwrap_or(path));
     match frame::decode(&text) {
         Ok(framed) => {
@@ -235,6 +273,48 @@ fn process_file(fs: &Arc<FileSystem>, path: &str, committed: &HashSet<&str>) -> 
         return Outcome::Corrupt;
     }
     Outcome::Salvaged { sub, adopted_tmp }
+}
+
+/// The store a file belongs to, for journal-replay bookkeeping: the base
+/// store path with any tmp, segment, or journal-generation suffix removed.
+fn base_of(path: &str) -> &str {
+    frame::base_store_path(path.strip_suffix(".tmp").unwrap_or(path))
+}
+
+/// What one committed file contributed to its store: the frame facts
+/// (kind, ordinal) when framed, and the triple count it parsed to.
+type CommittedEntry = (Option<(FrameKind, u64)>, usize);
+
+/// Committed watermark of one store: how many records its committed files
+/// cover, so journal records below that count are already durable and must
+/// not replay. With framed files the newest snapshot plus the segments
+/// above it are counted (stale pre-snapshot segments overlap the snapshot
+/// and would inflate the watermark); legacy files simply sum.
+fn committed_watermark(entries: &[CommittedEntry]) -> u64 {
+    let snap = entries
+        .iter()
+        .filter_map(|(m, n)| match m {
+            Some((FrameKind::Snapshot, ordinal)) => Some((*ordinal, *n)),
+            _ => None,
+        })
+        .max_by_key(|(ordinal, _)| *ordinal);
+    match snap {
+        Some((snap_ordinal, snap_count)) => {
+            snap_count as u64
+                + entries
+                    .iter()
+                    .filter_map(|(m, n)| match m {
+                        Some((kind, ordinal))
+                            if *kind != FrameKind::Snapshot && *ordinal > snap_ordinal =>
+                        {
+                            Some(*n as u64)
+                        }
+                        _ => None,
+                    })
+                    .sum::<u64>()
+        }
+        None => entries.iter().map(|(_, n)| *n as u64).sum(),
+    }
 }
 
 /// Count chain discontinuities among the verified framed files of one
@@ -327,6 +407,8 @@ fn merge_directory_impl(
         quarantined: Vec::new(),
         salvaged_batches: 0,
         chain_breaks: 0,
+        replayed_triples: 0,
+        wal_tails_truncated: 0,
     };
     let files = match fs.walk_files(dir) {
         Ok(f) => f,
@@ -348,6 +430,13 @@ fn merge_directory_impl(
     // the bulk id-mapped path (one intern per distinct term per file).
     let mut recovered_seen: HashSet<&str> = HashSet::new();
     let mut chains: HashMap<u64, Vec<(u64, FrameMeta)>> = HashMap::new();
+    // Per-store bookkeeping for journal replay: what each committed file
+    // contributed (with its frame facts, when framed) and the journal
+    // records awaiting the post-fold watermark check. Keyed by the base
+    // store path so segments, tmps, and journal generations all land on
+    // the same store.
+    let mut committed_counts: HashMap<&str, Vec<CommittedEntry>> = HashMap::new();
+    let mut wal_records: HashMap<&str, Vec<(u64, String)>> = HashMap::new();
     for (path, outcome) in files.iter().zip(outcomes) {
         let mut recover = |report: &mut MergeReport| {
             if recovered_seen.insert(path.as_str()) {
@@ -358,6 +447,7 @@ fn merge_directory_impl(
             Outcome::Skipped => {}
             Outcome::Corrupt => report.corrupt.push(path.clone()),
             Outcome::Parsed { sub, adopted_tmp } => {
+                committed_counts.entry(base_of(path)).or_default().push((None, sub.len()));
                 graph.merge(&sub);
                 report.files += 1;
                 if adopted_tmp {
@@ -365,6 +455,7 @@ fn merge_directory_impl(
                 }
             }
             Outcome::Salvaged { sub, adopted_tmp } => {
+                committed_counts.entry(base_of(path)).or_default().push((None, sub.len()));
                 report.salvaged_triples += sub.len();
                 graph.merge(&sub);
                 report.files += 1;
@@ -385,12 +476,22 @@ fn merge_directory_impl(
                         (meta.batches_total - meta.batches_corrupt) as u64;
                     report.salvaged_triples += sub.len();
                 }
+                committed_counts
+                    .entry(base_of(path))
+                    .or_default()
+                    .push((Some((meta.kind, meta.ordinal)), sub.len()));
                 graph.merge(&sub);
                 report.files += 1;
                 if adopted_tmp {
                     recover(&mut report);
                 }
                 chains.entry(meta.guid).or_default().push((meta.ordinal, meta));
+            }
+            Outcome::Wal { records, truncated } => {
+                if truncated {
+                    report.wal_tails_truncated += 1;
+                }
+                wal_records.entry(base_of(path)).or_default().extend(records);
             }
             Outcome::Quarantine { substituted } => {
                 // Condemn the file on disk so later merges skip it without
@@ -408,6 +509,42 @@ fn merge_directory_impl(
     }
     for metas in chains.values_mut() {
         report.chain_breaks += chain_breaks_in(metas);
+    }
+    // Journal replay, after every committed file has folded: records a
+    // store journaled but never committed — those at or above its committed
+    // watermark — parse back into the merged graph. Records *below* the
+    // watermark are already in a snapshot or segment (a crash between
+    // segment commit and journal recycle leaves a stale generation behind),
+    // so the ordinal filter makes double-counting impossible and re-merges
+    // over the same directory idempotent.
+    let mut stores: Vec<&str> = wal_records.keys().copied().collect();
+    stores.sort_unstable();
+    for base in stores {
+        let mut records = wal_records.remove(base).unwrap_or_default();
+        let watermark = committed_counts
+            .get(base)
+            .map(|entries| committed_watermark(entries))
+            .unwrap_or(0);
+        // Stale and current generations never overlap in ordinal space, but
+        // sorting and deduplicating costs little and holds even if a crashed
+        // recycle left both behind.
+        records.sort_unstable_by_key(|r| r.0);
+        records.dedup_by_key(|(ordinal, _)| *ordinal);
+        let pending: String = records
+            .iter()
+            .filter(|(ordinal, _)| *ordinal >= watermark)
+            .map(|(_, line)| format!("{line}\n"))
+            .collect();
+        if pending.is_empty() {
+            continue;
+        }
+        // Journal payloads are CRC-verified, so a full parse succeeds on
+        // anything the store actually wrote; salvage is belt and braces.
+        let sub = parse_full(Format::NTriples, &pending)
+            .unwrap_or_else(|| salvage(Format::NTriples, &pending));
+        let before = graph.len();
+        graph.merge(&sub);
+        report.replayed_triples += graph.len() - before;
     }
     report.triples = graph.len();
     (graph, report)
@@ -662,6 +799,8 @@ mod tests {
         assert_eq!(rp.quarantined, rs.quarantined);
         assert_eq!(rp.salvaged_batches, rs.salvaged_batches);
         assert_eq!(rp.chain_breaks, rs.chain_breaks);
+        assert_eq!(rp.replayed_triples, rs.replayed_triples);
+        assert_eq!(rp.wal_tails_truncated, rs.wal_tails_truncated);
         assert_eq!(rp.recovered, vec!["/provio/orphan.nt.tmp".to_string()]);
         assert_eq!(
             rp.corrupt,
@@ -968,6 +1107,126 @@ mod tests {
         assert_eq!(report.salvaged_triples, 1);
         assert_eq!(report.files, 1);
         assert_eq!(g.len(), 1);
+    }
+
+    /// Append journal chunks under `path`'s store GUID: each group is
+    /// `(first record ordinal, lines)`, chained like the store's own
+    /// group commits. Returns the file body for further tampering.
+    fn write_wal(fs: &Arc<FileSystem>, path: &str, groups: &[(u64, &[&str])]) -> Vec<u8> {
+        let guid = frame::store_guid(path);
+        let mut chain = frame::CHAIN_START;
+        let mut bytes = Vec::new();
+        for (ordinal, lines) in groups {
+            let mut enc = frame::Encoder::new(FrameKind::Wal, guid, *ordinal, chain);
+            enc.batch(lines);
+            let (chunk, c) = enc.finish();
+            bytes.extend_from_slice(&chunk);
+            chain = c;
+        }
+        write_file(fs, path, &bytes);
+        bytes
+    }
+
+    #[test]
+    fn wal_replays_only_records_above_the_committed_watermark() {
+        let fs = FileSystem::new(LustreConfig::default());
+        // Committed history covers records 0 and 1...
+        write_framed(
+            &fs,
+            "/provio/prov_p0.nt",
+            FrameKind::Snapshot,
+            0,
+            frame::CHAIN_START,
+            "<urn:s0> <urn:p> <urn:o> .\n<urn:s1> <urn:p> <urn:o> .\n",
+            64,
+        );
+        // ...but the store crashed between the snapshot commit and the
+        // journal recycle: the stale generation still holds records 0..4.
+        write_wal(
+            &fs,
+            "/provio/prov_p0.nt.w000000.nt",
+            &[
+                (0, &["<urn:s0> <urn:p> <urn:o> .", "<urn:s1> <urn:p> <urn:o> ."][..]),
+                (2, &["<urn:s2> <urn:p> <urn:o> .", "<urn:s3> <urn:p> <urn:o> ."][..]),
+            ],
+        );
+        let (g, r) = merge_directory(&fs, "/provio");
+        assert_eq!(g.len(), 4, "nothing lost, nothing double-counted");
+        assert_eq!(r.replayed_triples, 2, "only the uncommitted records replay");
+        assert_eq!(r.wal_tails_truncated, 0);
+        assert_eq!(r.files, 1, "the journal is not a sub-graph file");
+        assert_eq!(r.chain_breaks, 0);
+        assert!(r.corrupt.is_empty());
+        // Re-merging the same directory is idempotent: the journal is
+        // re-read, the same records filtered, the same counts reported.
+        let (g2, r2) = merge_directory(&fs, "/provio");
+        assert_eq!(g2.len(), g.len());
+        assert_eq!(r2.replayed_triples, r.replayed_triples);
+    }
+
+    #[test]
+    fn journal_alone_recovers_a_rank_that_never_flushed() {
+        let fs = FileSystem::new(LustreConfig::default());
+        // The rank crashed before its first flush: no snapshot, no
+        // segments — only the journal survives.
+        write_wal(
+            &fs,
+            "/provio/prov_p3.nt.w000000.nt",
+            &[
+                (0, &["<urn:a> <urn:p> <urn:1> ."][..]),
+                (1, &["<urn:a> <urn:p> <urn:2> ."][..]),
+            ],
+        );
+        let (g, r) = merge_directory(&fs, "/provio");
+        assert_eq!(g.len(), 2);
+        assert_eq!(r.replayed_triples, 2);
+        assert_eq!(r.files, 0);
+        assert!(r.corrupt.is_empty());
+    }
+
+    #[test]
+    fn rotted_journal_tail_is_truncated_and_counted_never_parsed() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let path = "/provio/prov_p4.nt.w000000.nt";
+        let guid = frame::store_guid(path);
+        let mut enc = frame::Encoder::new(FrameKind::Wal, guid, 0, frame::CHAIN_START);
+        enc.batch(&["<urn:kept> <urn:p> <urn:o> ."]);
+        let (mut bytes, chain) = enc.finish();
+        let mut enc = frame::Encoder::new(FrameKind::Wal, guid, 1, chain);
+        enc.batch(&["<urn:dropped> <urn:p> <urn:o> ."]);
+        let (tail, _) = enc.finish();
+        bytes.extend_from_slice(&tail);
+        // Rot lands in the second chunk's payload: its CRC no longer
+        // verifies, so the chunk and everything after it are cut off.
+        let rotted = String::from_utf8(bytes)
+            .unwrap()
+            .replace("urn:dropped", "urn:forged!");
+        write_file(&fs, path, rotted.as_bytes());
+        let (g, r) = merge_directory(&fs, "/provio");
+        assert_eq!(r.wal_tails_truncated, 1);
+        assert_eq!(r.replayed_triples, 1, "the verified prefix still replays");
+        let merged = ntriples::serialize(&g);
+        assert!(merged.contains("urn:kept"));
+        assert!(!merged.contains("forged"), "rotted records never parse");
+        assert!(r.quarantined.is_empty(), "journals are truncated, not quarantined");
+    }
+
+    #[test]
+    fn journal_generation_tmp_is_never_adopted() {
+        let fs = FileSystem::new(LustreConfig::default());
+        // A crash inside journal-generation creation leaves `<gen>.tmp`
+        // behind; unlike a store tmp it must not be adopted as a sub-graph.
+        write_file(
+            &fs,
+            "/provio/prov_p5.nt.w000002.nt.tmp",
+            b"<urn:x> <urn:p> <urn:o> .\n",
+        );
+        let (g, r) = merge_directory(&fs, "/provio");
+        assert!(g.is_empty());
+        assert_eq!(r.files, 0);
+        assert_eq!(r.replayed_triples, 0);
+        assert!(r.recovered.is_empty());
+        assert!(r.corrupt.is_empty());
     }
 
     #[test]

@@ -62,6 +62,15 @@ pub struct RunReport {
     pub quarantined_files: usize,
     /// Discontinuities detected in the per-store frame chains.
     pub chain_breaks: u64,
+    /// Triples recovered from per-rank write-ahead journals: records that
+    /// were journaled but never covered by a committed snapshot or segment
+    /// (the writer crashed or shed flushes). With the journal enabled the
+    /// residual loss for a crashed rank is bounded by its group-commit
+    /// size: at most `wal_group` records ride in the unflushed buffer.
+    pub replayed_triples: usize,
+    /// Journal generation files whose torn or bit-rotted tail was truncated
+    /// at the last verified chunk before replay.
+    pub wal_tails_truncated: u64,
 }
 
 impl RunReport {
@@ -99,6 +108,8 @@ impl RunReport {
         self.corrupt_files = report.corrupt.len();
         self.quarantined_files = report.quarantined.len();
         self.chain_breaks = report.chain_breaks;
+        self.replayed_triples = report.replayed_triples;
+        self.wal_tails_truncated = report.wal_tails_truncated;
     }
 
     /// Ranks that completed every recorded superstep.
@@ -130,8 +141,9 @@ impl fmt::Display for RunReport {
         write!(
             f,
             "run: {}/{} ranks survived; {}/{} sub-graphs recovered \
-             ({:.1}% complete), {} triples merged, {} salvaged, {} files lost, \
-             {} quarantined, {} chain breaks",
+             ({:.1}% complete), {} triples merged, {} salvaged, {} replayed \
+             from journals, {} files lost, {} quarantined, {} chain breaks, \
+             {} journal tails truncated",
             self.world_size as usize - self.crashed.len(),
             self.world_size,
             self.recovered_subgraphs,
@@ -139,9 +151,11 @@ impl fmt::Display for RunReport {
             self.completeness() * 100.0,
             self.merged_triples,
             self.salvaged_triples,
+            self.replayed_triples,
             self.corrupt_files,
             self.quarantined_files,
             self.chain_breaks,
+            self.wal_tails_truncated,
         )
     }
 }
@@ -321,6 +335,8 @@ mod tests {
             quarantined: Vec::new(),
             salvaged_batches: 0,
             chain_breaks: 0,
+            replayed_triples: 0,
+            wal_tails_truncated: 0,
         }
     }
 
@@ -416,6 +432,20 @@ mod tests {
         assert_eq!(clean.completeness(), 1.0);
         let line = clean.to_string();
         assert!(line.contains("4/4 sub-graphs"), "display: {line}");
+    }
+
+    #[test]
+    fn journal_replay_is_reported() {
+        let mut merged = merge_report(3, 100);
+        merged.replayed_triples = 7;
+        merged.wal_tails_truncated = 1;
+        let mut r = RunReport::new(4);
+        r.attach_merge(4, &merged);
+        assert_eq!(r.replayed_triples, 7);
+        assert_eq!(r.wal_tails_truncated, 1);
+        let line = r.to_string();
+        assert!(line.contains("7 replayed"), "display: {line}");
+        assert!(line.contains("1 journal tails truncated"), "display: {line}");
     }
 
     #[test]

@@ -83,11 +83,38 @@
 //! on-disk chain never skips. All frame lines are `#` comments, so a
 //! framed file is still parseable by any legacy reader; merge-side
 //! verification is where the checksums pay off (see [`crate::merge`]).
+//!
+//! # The write-ahead journal
+//!
+//! Everything above bounds what a *flush* can lose; nothing bounds what a
+//! *crash between flushes* loses — every triple above the watermark dies
+//! with the process. `ProvenanceStore::with_wal` closes that gap: each
+//! pushed record is rendered as one N-Triples line and appended to a
+//! journal generation file `<path>.wNNNNNN.nt` in **group commits** of
+//! `wal_group` records. A group commit is one self-contained
+//! `FrameKind::Wal` frame whose `ordinal` is the record ordinal of its
+//! first line (record ordinals are the graph's insertion indices, so the
+//! journal and the committed files speak the same coordinate system) and
+//! whose `prev` chains it to the previous chunk in the generation. Flush
+//! boundaries force the partial group out, so the journal always covers at
+//! least everything a flush is about to commit.
+//!
+//! After a *successful* flush the journal is recycled: buffered records are
+//! discarded (the commit covers them), the generation file is unlinked, and
+//! the next append opens a fresh generation via the same tmp+rename
+//! discipline as segments. A crash between "segment commit" and "journal
+//! unlink" merely leaves a stale generation whose records the merge
+//! deduplicates by ordinal against the committed files — never a double
+//! count. A crash mid-append leaves a torn chunk the frame CRCs catch; the
+//! merge truncates the journal's tail there and replays the verified
+//! prefix. Net contract: with the WAL on, a crashed rank loses at most
+//! `wal_group` records (the unforced tail of the last group), and the loss
+//! is reported, not silent.
 
 use crate::config::{OverloadPolicy, RdfFormat, RetryPolicy};
 use crate::frame::{self, FrameKind};
 use parking_lot::{Condvar, Mutex};
-use provio_hpcfs::{FileSystem, FsError};
+use provio_hpcfs::{FileSystem, FsError, Ino};
 use provio_rdf::{ntriples, turtle, Graph, Namespaces, Term, TermId, Triple};
 use provio_simrt::{ChargeGuard, SimDuration, SimTime, VirtualClock};
 use std::collections::HashMap;
@@ -271,6 +298,16 @@ struct GraphState {
     watermark: usize,
 }
 
+/// One push's worth of journal records awaiting commit: `n` contiguous
+/// record ordinals starting at `start`, rendered as one newline-terminated
+/// N-Triples block. A chunk is committed whole (it becomes one frame) or
+/// not at all.
+struct WalChunk {
+    start: u64,
+    n: u64,
+    block: String,
+}
+
 /// Everything the flush path owns: paths, format, retry/degradation
 /// bookkeeping, and the delta-segment ledger. Holding this lock serializes
 /// flushes without blocking `push`.
@@ -322,10 +359,39 @@ struct IoState {
     next_ordinal: u64,
     /// Chain value of the last successfully committed framed file.
     last_chain: u32,
+    /// Write-ahead journal on (see [`ProvenanceStore::with_wal`]).
+    wal: bool,
+    /// Group-commit threshold (≥ 1): the buffer is appended once it holds
+    /// this many records, so exposure after a push stays under one group.
+    wal_group: u32,
+    /// Journal records accepted but not yet committed, one chunk per push
+    /// (contiguous ordinals from `start`, one rendered block per chunk).
+    wal_buf: Vec<WalChunk>,
+    /// Sequence of the current journal generation file.
+    wal_gen: u64,
+    /// Open generation file, once the first append created it.
+    wal_ino: Option<Ino>,
+    /// Append offset into the open generation file.
+    wal_len: u64,
+    /// Chain value of the last chunk appended to the open generation.
+    wal_chain: u32,
+    /// Records durably journaled (across all generations).
+    wal_records: u64,
+    /// Successful group commits.
+    wal_commits: u64,
+    /// Generations recycled after a successful flush.
+    wal_recycles: u64,
+    /// Append attempts that failed (records stay buffered and retry at the
+    /// next group boundary, over the same offset).
+    wal_failed_appends: u64,
 }
 
 fn seg_path(path: &str, seq: u64) -> String {
     format!("{path}.d{seq:06}.nt")
+}
+
+fn wal_path(path: &str, gen: u64) -> String {
+    format!("{path}.w{gen:06}.nt")
 }
 
 /// Lines per CRC frame for line-oriented (N-Triples) payloads: small
@@ -455,6 +521,102 @@ impl IoState {
             }
         }
     }
+
+    /// Open the current journal generation file (tmp+rename, the same
+    /// discipline as segments, so the generation enters the namespace
+    /// atomically and an interrupted open never masquerades as a journal).
+    fn wal_open_gen(&mut self) -> Result<Ino, FsError> {
+        if let Some(ino) = self.wal_ino {
+            return Ok(ino);
+        }
+        let now = SimTime::ZERO;
+        let gen = wal_path(&self.path, self.wal_gen);
+        let tmp = format!("{gen}.tmp");
+        let ino = self.fs.create_file(&tmp, false, "provio", now)?;
+        self.fs.truncate_ino(ino, 0, now)?;
+        self.fs.rename(&tmp, &gen, now)?;
+        self.wal_ino = Some(ino);
+        self.wal_len = 0;
+        self.wal_chain = frame::CHAIN_START;
+        Ok(ino)
+    }
+
+    /// Group-commit buffered journal records: once the buffer holds at
+    /// least `wal_group` records — or at any size when `force`, a flush
+    /// boundary — every buffered chunk is framed (one frame per chunk, its
+    /// ordinal the chunk's first record) and all of them land in one
+    /// contiguous positional write, so a 1000-record push costs a single
+    /// append with no per-record work. The exposure window after any push
+    /// is therefore under `wal_group` records. A failed append advances
+    /// nothing: the chunks stay buffered and the whole append retries at
+    /// the same offset, so a torn partial append is simply overwritten; a
+    /// crash point kills the writer as everywhere else.
+    fn wal_commit(&mut self, force: bool) {
+        if !self.wal || self.crashed {
+            return;
+        }
+        let buffered: u64 = self.wal_buf.iter().map(|c| c.n).sum();
+        if buffered == 0 || (!force && buffered < u64::from(self.wal_group.max(1))) {
+            return;
+        }
+        let ino = match self.wal_open_gen() {
+            Ok(ino) => ino,
+            Err(e) => {
+                self.wal_note_failure(e);
+                return;
+            }
+        };
+        let mut bytes =
+            Vec::with_capacity(self.wal_buf.iter().map(|c| c.block.len() + 128).sum());
+        let mut chain = self.wal_chain;
+        for chunk in &self.wal_buf {
+            let mut enc = frame::Encoder::new(FrameKind::Wal, self.guid, chunk.start, chain);
+            enc.batch_block(&chunk.block, chunk.n as usize);
+            let (frame_bytes, frame_chain) = enc.finish();
+            bytes.extend_from_slice(&frame_bytes);
+            chain = frame_chain;
+        }
+        match self.fs.write_at(ino, self.wal_len, &bytes, SimTime::ZERO) {
+            Ok(_) => {
+                self.wal_len += bytes.len() as u64;
+                self.wal_chain = chain;
+                self.wal_buf.clear();
+                self.wal_records += buffered;
+                self.wal_commits += 1;
+            }
+            Err(e) => self.wal_note_failure(e),
+        }
+    }
+
+    fn wal_note_failure(&mut self, e: FsError) {
+        self.last_error = Some(e);
+        if e == FsError::Crashed {
+            self.crashed = true;
+            self.degraded = true;
+        } else {
+            self.wal_failed_appends += 1;
+        }
+    }
+
+    /// Recycle the journal after a successful flush: everything journaled
+    /// or buffered is covered by the commit (flush boundaries force the
+    /// buffer out first, and the flush captured at least that far), so the
+    /// generation is retired and the next append opens a fresh one. The
+    /// unlink is best-effort — a stale generation surviving a crash here is
+    /// exactly what merge-time ordinal dedupe absorbs.
+    fn wal_recycle(&mut self) {
+        if !self.wal {
+            return;
+        }
+        self.wal_buf.clear();
+        if self.wal_ino.take().is_some() {
+            let _ = self.fs.unlink(&wal_path(&self.path, self.wal_gen));
+            self.wal_recycles += 1;
+        }
+        self.wal_gen += 1;
+        self.wal_len = 0;
+        self.wal_chain = frame::CHAIN_START;
+    }
 }
 
 /// Shared core of a store: the graph under the state lock, the write path
@@ -535,6 +697,7 @@ impl Inner {
         io.deltas_since_snapshot = 0;
         io.snapshot_done = true;
         self.state.lock().watermark = captured;
+        io.wal_recycle();
         bytes.len() as u64
     }
 
@@ -594,6 +757,7 @@ impl Inner {
             io.segments.push(seg);
             io.next_seg += 1;
             io.deltas_since_snapshot += 1;
+            io.wal_recycle();
             let n = bytes.len() as u64;
             if io.compact_every > 0 && io.deltas_since_snapshot >= io.compact_every {
                 self.snapshot(io, charge);
@@ -612,6 +776,14 @@ impl Inner {
     /// snapshots). Returns committed bytes or 0 for a dropped/empty/
     /// breaker-skipped flush.
     fn flush_now(&self, io: &mut IoState, charge: Option<&VirtualClock>) -> u64 {
+        if io.crashed {
+            io.dropped_flushes += 1;
+            return 0;
+        }
+        // A flush boundary forces the journal's partial group out — before
+        // the breaker gate, so journaling continues even while flushes are
+        // being skipped (that is exactly when the journal earns its keep).
+        io.wal_commit(true);
         if io.crashed {
             io.dropped_flushes += 1;
             return 0;
@@ -637,7 +809,49 @@ impl Inner {
             io.dropped_flushes += 1;
             return 0;
         }
+        // Journal first: if the final snapshot fails, the journal is what
+        // the merge will replay.
+        io.wal_commit(true);
+        if io.crashed {
+            io.dropped_flushes += 1;
+            return 0;
+        }
         self.snapshot(io, charge)
+    }
+
+    /// Insert a batch into the graph. With the journal on, the newly
+    /// inserted triples (dedup survivors — the journal speaks the graph's
+    /// insertion-index coordinate system) are rendered as journal records
+    /// as one block chunk, committed once the group threshold is reached.
+    /// The io lock is taken only when
+    /// journaling, so the journal-off push path is unchanged.
+    fn apply_batch(&self, triples: &[Triple], wal: bool) {
+        if !wal {
+            let mut st = self.state.lock();
+            for t in triples {
+                st.graph.insert(t);
+            }
+            return;
+        }
+        let mut io = self.io.lock();
+        {
+            let mut st = self.state.lock();
+            let before = st.graph.len();
+            for t in triples {
+                st.graph.insert(t);
+            }
+            let ids = st.graph.ids_from(before);
+            if !ids.is_empty() {
+                let n = ids.len() as u64;
+                let block = ntriples::id_block(ids, |id| st.graph.term(TermId(id)));
+                io.wal_buf.push(WalChunk {
+                    start: before as u64,
+                    n,
+                    block,
+                });
+            }
+        }
+        io.wal_commit(false);
     }
 }
 
@@ -651,6 +865,9 @@ pub struct ProvenanceStore {
     /// applied when it fills. Only meaningful in async mode.
     queue_capacity: u64,
     overload: OverloadPolicy,
+    /// Mirror of `IoState::wal`, readable without the io lock so the
+    /// journal-off push path stays io-lock-free.
+    wal_enabled: bool,
     fs: Arc<FileSystem>,
     path: String,
     triples_pushed: AtomicU64,
@@ -700,6 +917,17 @@ impl ProvenanceStore {
             guid: frame::store_guid(&path),
             next_ordinal: 0,
             last_chain: frame::CHAIN_START,
+            wal: false,
+            wal_group: crate::config::DEFAULT_WAL_GROUP,
+            wal_buf: Vec::new(),
+            wal_gen: 0,
+            wal_ino: None,
+            wal_len: 0,
+            wal_chain: frame::CHAIN_START,
+            wal_records: 0,
+            wal_commits: 0,
+            wal_recycles: 0,
+            wal_failed_appends: 0,
         };
         ProvenanceStore {
             inner: Arc::new(Inner {
@@ -713,6 +941,7 @@ impl ProvenanceStore {
             async_store,
             queue_capacity: 0,
             overload: OverloadPolicy::Block,
+            wal_enabled: false,
             fs,
             path,
             triples_pushed: AtomicU64::new(0),
@@ -773,6 +1002,20 @@ impl ProvenanceStore {
         self
     }
 
+    /// Keep a write-ahead journal of pushed records in group commits of
+    /// `group` records (clamped up to 1), bounding what a crash between
+    /// flushes can lose to at most one group. Off by default — the
+    /// journal-off store is byte-for-byte the legacy flush-boundary store.
+    pub fn with_wal(mut self, enabled: bool, group: u32) -> Self {
+        {
+            let mut io = self.inner.io.lock();
+            io.wal = enabled;
+            io.wal_group = group.max(1);
+        }
+        self.wal_enabled = enabled;
+        self
+    }
+
     /// The store file's path on the parallel file system.
     pub fn path(&self) -> &str {
         &self.path
@@ -800,21 +1043,14 @@ impl ProvenanceStore {
             }
             let inner = Arc::clone(&self.inner);
             let in_flight = Arc::clone(&self.in_flight);
+            let wal = self.wal_enabled;
             pool::submit(Box::new(move || {
-                {
-                    let mut st = inner.state.lock();
-                    for t in &triples {
-                        st.graph.insert(t);
-                    }
-                }
+                inner.apply_batch(&triples, wal);
                 in_flight.done(true);
             }));
         } else {
             let _guard = charge.map(ChargeGuard::new);
-            let mut st = self.inner.state.lock();
-            for t in &triples {
-                st.graph.insert(t);
-            }
+            self.inner.apply_batch(&triples, self.wal_enabled);
         }
     }
 
@@ -923,6 +1159,33 @@ impl ProvenanceStore {
     /// not lost: the triples stay above the watermark.
     pub fn breaker_skipped(&self) -> u64 {
         self.inner.io.lock().breaker_skipped
+    }
+
+    /// Records durably group-committed to the write-ahead journal.
+    pub fn wal_records(&self) -> u64 {
+        self.inner.io.lock().wal_records
+    }
+
+    /// Successful journal appends (each covers every chunk then buffered).
+    pub fn wal_commits(&self) -> u64 {
+        self.inner.io.lock().wal_commits
+    }
+
+    /// Journal generations retired after successful flushes.
+    pub fn wal_recycles(&self) -> u64 {
+        self.inner.io.lock().wal_recycles
+    }
+
+    /// Journal appends that failed and left their records buffered for a
+    /// retry at the next group boundary.
+    pub fn wal_failed_appends(&self) -> u64 {
+        self.inner.io.lock().wal_failed_appends
+    }
+
+    /// Journal records accepted but not yet group-committed — the exposure
+    /// window, never more than one group unless appends are failing.
+    pub fn wal_buffered(&self) -> u64 {
+        self.inner.io.lock().wal_buf.iter().map(|c| c.n).sum()
     }
 }
 
@@ -1639,5 +1902,127 @@ mod tests {
         assert_eq!(st.breaker_state(), BreakerState::Closed);
         let text = String::from_utf8(fs_read(&fs, "/prov/cf.nt")).unwrap();
         assert_eq!(ntriples::parse(&text).unwrap().len(), 4);
+    }
+
+    // ---- write-ahead journal -------------------------------------------
+
+    #[test]
+    fn wal_group_commits_and_recycles_on_flush() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/w1.nt", RdfFormat::NTriples, false)
+            .with_wal(true, 3);
+        // Below the group threshold nothing is appended — the records ride
+        // in the buffer (the bounded exposure window).
+        st.push(triples(2), None);
+        assert_eq!(st.wal_records(), 0);
+        assert_eq!(st.wal_commits(), 0);
+        assert_eq!(st.wal_buffered(), 2);
+        assert!(fs.lookup("/prov/w1.nt.w000000.nt").is_err());
+        // Reaching the threshold commits everything buffered in a single
+        // append: one frame per pushed chunk, contiguous ordinals.
+        st.push(triples_from(2, 3), None);
+        assert_eq!(st.wal_records(), 5);
+        assert_eq!(st.wal_commits(), 1);
+        assert_eq!(st.wal_buffered(), 0);
+        let text = String::from_utf8(fs_read(&fs, "/prov/w1.nt.w000000.nt")).unwrap();
+        let wal = frame::decode_wal(&text, frame::store_guid("/prov/w1.nt"));
+        assert!(!wal.truncated);
+        assert_eq!(wal.chunks, 2, "one frame per pushed chunk");
+        assert_eq!(wal.records.len(), 5);
+        assert_eq!(wal.records[0].0, 0, "record ordinal is the insertion index");
+        assert!(wal.records[0].1.contains("urn:s0"));
+        assert_eq!(wal.records[4].0, 4);
+        // A flush boundary forces any partial tail out; the successful
+        // commit then recycles the generation.
+        st.push(triples_from(5, 1), None);
+        assert_eq!(st.wal_buffered(), 1);
+        st.flush(None);
+        assert_eq!(st.wal_records(), 6);
+        assert_eq!(st.wal_buffered(), 0);
+        assert_eq!(st.wal_recycles(), 1);
+        assert!(
+            fs.lookup("/prov/w1.nt.w000000.nt").is_err(),
+            "flushed generation is recycled"
+        );
+        // The next commit opens a fresh generation; duplicates of already
+        // stored triples are never re-journaled.
+        st.push(triples_from(6, 3), None);
+        st.push(triples(5), None);
+        assert!(fs.lookup("/prov/w1.nt.w000001.nt").is_ok());
+        assert_eq!(st.wal_records(), 9);
+        assert_eq!(st.wal_buffered(), 0);
+        st.finish(None);
+        assert!(
+            fs.lookup("/prov/w1.nt.w000001.nt").is_err(),
+            "finish recycles the journal too"
+        );
+        assert_eq!(st.wal_recycles(), 2);
+        assert_eq!(st.wal_failed_appends(), 0);
+        assert!(!st.degraded());
+    }
+
+    #[test]
+    fn crashed_flush_loses_nothing_committed_to_the_journal() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let plan = FaultPlan::new(9);
+        plan.add_rule(FaultRule::crash(FaultOp::WriteAt).on_path("wc.nt.tmp"));
+        fs.install_faults(plan);
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/wc.nt", RdfFormat::NTriples, false)
+            .with_wal(true, 2);
+        st.push(triples(6), None);
+        st.flush(None); // the journal force-commits, then the snapshot crashes
+        assert!(st.degraded());
+        assert_eq!(st.wal_records(), 6, "every record reached the journal first");
+        // Nothing committed, but the merge replays the journal whole.
+        let (g, r) = crate::merge::merge_directory(&fs, "/prov");
+        assert_eq!(g.len(), 6);
+        assert_eq!(r.replayed_triples, 6);
+        assert_eq!(r.wal_tails_truncated, 0);
+    }
+
+    #[test]
+    fn failed_journal_append_retries_at_the_same_offset() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let plan = FaultPlan::new(17);
+        plan.add_rule(
+            FaultRule::fail(FaultOp::WriteAt, FsError::Io)
+                .on_path(".w000000.nt")
+                .times(1),
+        );
+        fs.install_faults(plan);
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/wr.nt", RdfFormat::NTriples, false)
+            .with_wal(true, 2);
+        st.push(triples(2), None); // first group commit fails; records stay buffered
+        assert_eq!(st.wal_failed_appends(), 1);
+        assert_eq!(st.wal_records(), 0);
+        assert_eq!(st.wal_buffered(), 2);
+        assert!(!st.degraded(), "a failed journal append is not fatal");
+        st.push(triples_from(2, 2), None); // retry lands at the same offset
+        assert_eq!(st.wal_records(), 4);
+        assert_eq!(st.wal_buffered(), 0);
+        let text = String::from_utf8(fs_read(&fs, "/prov/wr.nt.w000000.nt")).unwrap();
+        let wal = frame::decode_wal(&text, frame::store_guid("/prov/wr.nt"));
+        assert!(!wal.truncated, "the retried chunk overwrote any torn prefix");
+        assert_eq!(wal.records.len(), 4);
+    }
+
+    #[test]
+    fn wal_disabled_writes_no_journal_files() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/w0.nt", RdfFormat::NTriples, false);
+        st.push(triples(10), None);
+        st.flush(None);
+        st.push(triples_from(10, 5), None);
+        st.finish(None);
+        let journals: Vec<String> = fs
+            .walk_files("/prov")
+            .unwrap()
+            .into_iter()
+            .filter(|p| frame::is_wal_path(p))
+            .collect();
+        assert!(journals.is_empty(), "unexpected journals: {journals:?}");
+        assert_eq!(st.wal_records(), 0);
+        assert_eq!(st.wal_commits(), 0);
+        assert_eq!(st.wal_recycles(), 0);
     }
 }

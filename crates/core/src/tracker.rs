@@ -114,6 +114,13 @@ pub struct TrackSummary {
     pub breaker_skipped: u64,
     /// Final breaker state: `"closed"`, `"open"`, or `"half-open"`.
     pub breaker_state: String,
+    /// Records group-committed to the write-ahead journal (0 with the
+    /// journal disabled).
+    pub wal_records: u64,
+    /// Journal group commits performed.
+    pub wal_commits: u64,
+    /// Journal generations recycled after a successful flush.
+    pub wal_recycles: u64,
 }
 
 /// Per-process provenance capture state.
@@ -173,6 +180,7 @@ impl ProvTracker {
             .with_queue(config.queue_capacity, config.overload)
             .with_breaker(config.breaker_threshold, config.breaker_backoff_ns)
             .with_checksums(config.checksum_format)
+            .with_wal(config.wal, config.wal_group)
             .with_clock(clock.clone());
         let program_guid = GuidGen::agent("Program", program);
         let thread_guid = GuidGen::agent("Thread", &format!("{program}-rank{pid}"));
@@ -549,6 +557,9 @@ impl ProvTracker {
             breaker_trips: self.store.breaker_trips(),
             breaker_skipped: self.store.breaker_skipped(),
             breaker_state: self.store.breaker_state().as_str().to_string(),
+            wal_records: self.store.wal_records(),
+            wal_commits: self.store.wal_commits(),
+            wal_recycles: self.store.wal_recycles(),
         };
         *finished = Some(summary.clone());
         summary
@@ -958,6 +969,39 @@ mod tests {
         assert!(s1.degraded);
         assert!(s1.breaker_trips >= 1, "breaker tripped on the failing store");
         assert_eq!(s1.breaker_state, "open");
+    }
+
+    #[test]
+    fn summary_reports_journal_stats() {
+        // Journal off (the default): stats stay quiet.
+        let fs0 = fs();
+        let t0 = ProvTracker::new(
+            ProvIoConfig::default().shared(),
+            Arc::clone(&fs0),
+            31,
+            "B",
+            "p",
+            VirtualClock::new(),
+        );
+        t0.track_io(&event(ActivityClass::Read, "read", None));
+        let s0 = t0.finish();
+        assert_eq!(s0.wal_records, 0, "journal off by default");
+        assert_eq!(s0.wal_commits, 0);
+        assert_eq!(s0.wal_recycles, 0);
+
+        // Journal on: records group-commit on push and the finishing
+        // snapshot recycles the generation.
+        let fs1 = fs();
+        let cfg = ProvIoConfig::default().with_wal(true, 4).synchronous().shared();
+        let t1 = ProvTracker::new(cfg, Arc::clone(&fs1), 32, "B", "p", VirtualClock::new());
+        for _ in 0..3 {
+            t1.track_io(&event(ActivityClass::Write, "write", None));
+        }
+        let s1 = t1.finish();
+        assert!(s1.wal_records > 0, "pushed records were journaled: {s1:?}");
+        assert!(s1.wal_commits >= 1);
+        assert!(s1.wal_recycles >= 1, "the finishing snapshot recycles the journal");
+        assert!(!s1.degraded);
     }
 
     #[test]

@@ -70,6 +70,13 @@ pub enum FaultAction {
     /// `ReadAt` the media is intact and only the returned copy is mutated.
     /// On ops that move no data it degrades to EIO.
     Corrupt(CorruptKind),
+    /// Stall the operation for `ns` virtual nanoseconds, then let it
+    /// succeed untouched — a slow OST, a congested network link, a retried
+    /// RPC. The stall is charged to the clock attached to the file system
+    /// ([`crate::FileSystem::attach_clock`]); with no clock attached only
+    /// the injection is counted. Data is never altered: the op persists
+    /// (or returns) exactly the bytes a fault-free call would.
+    Delay { ns: u64 },
 }
 
 impl CorruptKind {
@@ -181,6 +188,19 @@ impl FaultRule {
     /// damaged, the media stays intact.
     pub fn corrupt_reads(kind: CorruptKind) -> Self {
         FaultRule::corrupt(FaultOp::ReadAt, kind)
+    }
+
+    /// Latency fault: stall `op` for `ns` virtual nanoseconds, then let it
+    /// succeed (see [`FaultAction::Delay`]).
+    pub fn delay(op: FaultOp, ns: u64) -> Self {
+        FaultRule {
+            op,
+            path_substr: None,
+            skip: 0,
+            times: None,
+            probability: 1.0,
+            action: FaultAction::Delay { ns },
+        }
     }
 
     /// For a crash rule: also persist a `keep`-byte prefix of the buffer.
@@ -436,6 +456,23 @@ mod tests {
             Some(FaultAction::Corrupt(CorruptKind::BitFlips { count: 1 }))
         );
         assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn delay_rule_fires_and_is_counted() {
+        let plan = FaultPlan::new(11);
+        plan.add_rule(FaultRule::delay(FaultOp::WriteAt, 5_000).times(2));
+        assert_eq!(
+            plan.decide(FaultOp::WriteAt, "/x"),
+            Some(FaultAction::Delay { ns: 5_000 })
+        );
+        assert_eq!(plan.decide(FaultOp::ReadAt, "/x"), None, "op selector holds");
+        assert_eq!(
+            plan.decide(FaultOp::WriteAt, "/x"),
+            Some(FaultAction::Delay { ns: 5_000 })
+        );
+        assert_eq!(plan.decide(FaultOp::WriteAt, "/x"), None, "exhausted");
+        assert_eq!(plan.injected(), 2);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::error::{FsError, FsResult};
 use crate::fault::{CorruptKind, FaultAction, FaultOp, FaultPlan};
 use crate::lustre::LustreConfig;
 use parking_lot::{Mutex, RwLock};
-use provio_simrt::{DetRng, SimTime};
+use provio_simrt::{DetRng, SimDuration, SimTime, VirtualClock};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -115,6 +115,9 @@ pub struct FileSystem {
     /// ino → last-created/renamed path, so ino-level ops (`write_at`,
     /// `truncate_ino`) can be matched by path-filtered fault rules.
     ino_paths: Mutex<HashMap<Ino, String>>,
+    /// Clock that [`FaultAction::Delay`] stalls are charged to, when one is
+    /// attached. Time charging otherwise stays in the session layer.
+    clock: RwLock<Option<VirtualClock>>,
 }
 
 impl FileSystem {
@@ -139,6 +142,7 @@ impl FileSystem {
             config,
             faults: RwLock::new(None),
             ino_paths: Mutex::new(HashMap::new()),
+            clock: RwLock::new(None),
         })
     }
 
@@ -161,6 +165,26 @@ impl FileSystem {
 
     fn fault_decision(&self, op: FaultOp, path: &str) -> Option<FaultAction> {
         self.faults.read().as_ref().and_then(|p| p.decide(op, path))
+    }
+
+    /// Attach the clock [`FaultAction::Delay`] stalls are charged to.
+    /// Virtual clocks share state through their handles, so the caller
+    /// keeps observing the injected latency on its own copy.
+    pub fn attach_clock(&self, clock: VirtualClock) {
+        *self.clock.write() = Some(clock);
+    }
+
+    /// Detach the delay clock; stalls become counted no-ops again.
+    pub fn detach_clock(&self) {
+        *self.clock.write() = None;
+    }
+
+    /// Serve a fired [`FaultAction::Delay`]: advance the attached clock (if
+    /// any) and let the caller proceed to the real operation.
+    fn stall(&self, ns: u64) {
+        if let Some(clock) = self.clock.read().as_ref() {
+            clock.advance(SimDuration::from_nanos(ns));
+        }
     }
 
     fn ino_path(&self, ino: Ino) -> String {
@@ -263,6 +287,7 @@ impl FileSystem {
             Some(FaultAction::Crash { .. }) => return Err(FsError::Crashed),
             // Creation moves no data to corrupt; degrade to a media error.
             Some(FaultAction::Corrupt(_)) => return Err(FsError::Io),
+            Some(FaultAction::Delay { ns }) => self.stall(ns),
             None => {}
         }
         let ino = self.create_file_inner(path, excl, owner, now)?;
@@ -430,13 +455,14 @@ impl FileSystem {
             .fault_decision(FaultOp::Rename, old)
             .or_else(|| self.fault_decision(FaultOp::Rename, new))
         {
-            return Err(match action {
-                FaultAction::Fail(e) => e,
-                FaultAction::TornWrite { .. } => FsError::Io,
-                FaultAction::Crash { .. } => FsError::Crashed,
+            match action {
+                FaultAction::Fail(e) => return Err(e),
+                FaultAction::TornWrite { .. } => return Err(FsError::Io),
+                FaultAction::Crash { .. } => return Err(FsError::Crashed),
                 // A rename moves no data to corrupt; degrade to a media error.
-                FaultAction::Corrupt(_) => FsError::Io,
-            });
+                FaultAction::Corrupt(_) => return Err(FsError::Io),
+                FaultAction::Delay { ns } => self.stall(ns),
+            }
         }
         let ino = self.rename_inner(old, new, now)?;
         self.ino_paths.lock().insert(ino, new.to_string());
@@ -638,6 +664,7 @@ impl FileSystem {
                     p.apply_corruption(&kind, &mut buf);
                     return Ok(bytes::Bytes::from(buf));
                 }
+                Some(FaultAction::Delay { ns }) => self.stall(ns),
                 None => {}
             }
         }
@@ -679,6 +706,7 @@ impl FileSystem {
                     .apply_corruption(&kind, &mut buf);
                 return self.write_at_inner(ino, offset, &buf, now);
             }
+            Some(FaultAction::Delay { ns }) => self.stall(ns),
             None => {}
         }
         self.write_at_inner(ino, offset, data, now)
@@ -713,6 +741,7 @@ impl FileSystem {
             Some(FaultAction::Crash { .. }) => return Err(FsError::Crashed),
             // Truncation moves no data to corrupt; degrade to a media error.
             Some(FaultAction::Corrupt(_)) => return Err(FsError::Io),
+            Some(FaultAction::Delay { ns }) => self.stall(ns),
             None => {}
         }
         let mut inner = self.inner.write();
@@ -1098,6 +1127,38 @@ mod tests {
         fs.write_at(ino, 0, b"abcdef", T0).unwrap();
         fs.clear_faults();
         assert_eq!(fs.read_at(ino, 0, 6).unwrap().to_vec(), vec![0u8; 6]);
+    }
+
+    #[test]
+    fn delay_fault_stalls_the_attached_clock_and_persists_exact_bytes() {
+        use crate::fault::{FaultOp, FaultPlan, FaultRule};
+        let fs = fs();
+        let clock = VirtualClock::new();
+        fs.attach_clock(clock.clone());
+        let plan = FaultPlan::new(13);
+        plan.add_rule(FaultRule::delay(FaultOp::WriteAt, 2_000_000).times(1));
+        plan.add_rule(FaultRule::delay(FaultOp::ReadAt, 500_000).times(1));
+        fs.install_faults(Arc::clone(&plan));
+        let ino = fs.create_file("/slow.nt", false, "u", T0).unwrap();
+        // The delayed write succeeds and lands byte-for-byte.
+        fs.write_at(ino, 0, b"<urn:s> <urn:p> <urn:o> .\n", T0).unwrap();
+        assert_eq!(clock.now().as_nanos(), 2_000_000, "stall charged to the clock");
+        // The delayed read succeeds and returns the untouched media.
+        let back = fs.read_at(ino, 0, 1 << 16).unwrap();
+        assert_eq!(back.as_ref(), b"<urn:s> <urn:p> <urn:o> .\n");
+        assert_eq!(clock.now().as_nanos(), 2_500_000);
+        assert_eq!(plan.injected(), 2);
+        // Rules exhausted: later ops run at full speed.
+        fs.write_at(ino, 0, b"x", T0).unwrap();
+        assert_eq!(clock.now().as_nanos(), 2_500_000);
+        // With no clock attached a stall is a counted no-op, never an error.
+        fs.detach_clock();
+        let plan2 = FaultPlan::new(14);
+        plan2.add_rule(FaultRule::delay(FaultOp::Rename, 1_000));
+        fs.install_faults(Arc::clone(&plan2));
+        fs.rename("/slow.nt", "/fast.nt", T0).unwrap();
+        assert_eq!(plan2.injected(), 1);
+        assert!(fs.lookup("/fast.nt").is_ok());
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod syscall;
 pub use content::FileContent;
 pub use error::{FsError, FsResult};
 pub use fault::{CorruptKind, FaultAction, FaultOp, FaultPlan, FaultRule};
-pub use fs::{FileKind, FileSystem, Metadata};
+pub use fs::{FileKind, FileSystem, Ino, Metadata};
 pub use lustre::LustreConfig;
 pub use session::{Fd, FsSession, OpenFlags, Whence};
 pub use syscall::{Dispatcher, SyscallEvent, SyscallHook, SyscallKind};

@@ -69,7 +69,50 @@ pub fn sorted_id_lines<'a>(
     sorted_lines(ids, term_of)
 }
 
+/// Insertion-ordered N-Triples records for an id slice, rendered into one
+/// newline-terminated block. This is the write-ahead journal's record
+/// format: a record's position *is* its ordinal, so unlike
+/// [`sorted_id_lines`] the lines must not be reordered — and the journal
+/// sits on the track path, so the whole batch is one allocation rather
+/// than one `String` per record.
+pub fn id_block<'a>(
+    ids: &[(u32, u32, u32)],
+    term_of: impl Fn(u32) -> &'a Term,
+) -> String {
+    let mut cache: HashMap<u32, String> = HashMap::new();
+    for &(s, p, o) in ids {
+        for id in [s, p, o] {
+            cache
+                .entry(id)
+                .or_insert_with(|| render_term(term_of(id)));
+        }
+    }
+    let cap = ids
+        .iter()
+        .map(|&(s, p, o)| cache[&s].len() + cache[&p].len() + cache[&o].len() + 5)
+        .sum();
+    let mut block = String::with_capacity(cap);
+    for &(s, p, o) in ids {
+        block.push_str(&cache[&s]);
+        block.push(' ');
+        block.push_str(&cache[&p]);
+        block.push(' ');
+        block.push_str(&cache[&o]);
+        block.push_str(" .\n");
+    }
+    block
+}
+
 fn sorted_lines<'a>(
+    ids: &[(u32, u32, u32)],
+    term_of: impl Fn(u32) -> &'a Term,
+) -> Vec<String> {
+    let mut lines = render_lines(ids, term_of);
+    lines.sort_unstable();
+    lines
+}
+
+fn render_lines<'a>(
     ids: &[(u32, u32, u32)],
     term_of: impl Fn(u32) -> &'a Term,
 ) -> Vec<String> {
@@ -81,8 +124,7 @@ fn sorted_lines<'a>(
                 .or_insert_with(|| render_term(term_of(id)));
         }
     }
-    let mut lines: Vec<String> = ids
-        .iter()
+    ids.iter()
         .map(|&(s, p, o)| {
             let (s, p, o) = (&cache[&s], &cache[&p], &cache[&o]);
             let mut l = String::with_capacity(s.len() + p.len() + o.len() + 4);
@@ -94,9 +136,7 @@ fn sorted_lines<'a>(
             l.push_str(" .");
             l
         })
-        .collect();
-    lines.sort_unstable();
-    lines
+        .collect()
 }
 
 /// Write one triple as a single N-Triples line.

@@ -15,20 +15,37 @@ fn data_path(rank: u32, phase: usize) -> String {
     format!("/data_r{rank}_p{phase}.h5")
 }
 
-/// Run a `world_size`-rank workflow over the four phases. Ranks listed in
-/// `crashes` as `(rank, phase)` panic at the start of that phase and are
-/// skipped afterwards (a dead rank stays dead); when `ghost_crashed` is
-/// set, ranks in the crash set never run at all (the no-fault baseline
-/// restricted to survivors).
+/// What ranks listed in the crash set do during a run.
+#[derive(Clone, Copy, PartialEq)]
+enum WorldMode {
+    /// Crashing ranks panic at the start of their crash phase and stay
+    /// dead afterwards; their trackers vanish without a flush.
+    Faulted,
+    /// Crashing ranks never run at all: the no-fault baseline restricted
+    /// to survivors.
+    Ghost,
+    /// Crashing ranks run only their pre-crash phases, then stop cleanly
+    /// and finish like everyone else: exactly the work a crashed rank did
+    /// before dying, but committed. The loss-measurement baseline.
+    Truncated,
+}
+
+/// Run a `world_size`-rank workflow over the four phases under `mode`,
+/// with every tracker built from `cfg`. When `faults` is given, the plan
+/// is installed on the cluster filesystem before any phase runs.
 ///
 /// Returns the cluster and the per-phase outcome report.
 fn run_world(
     world_size: u32,
     crashes: &[(u32, usize)],
-    ghost_crashed: bool,
+    mode: WorldMode,
+    cfg: &Arc<ProvIoConfig>,
+    faults: Option<Arc<FaultPlan>>,
 ) -> (Cluster, RunReport) {
     let cluster = Cluster::new();
-    let cfg = ProvIoConfig::default().shared();
+    if let Some(plan) = faults {
+        cluster.fs.install_faults(plan);
+    }
     let world = MpiWorld::new(world_size);
     let mut report = RunReport::new(world_size);
 
@@ -36,16 +53,19 @@ fn run_world(
         let outcomes = world.superstep_named(phase, |ctx| {
             let rank = ctx.rank;
             if let Some(&(_, crash_phase)) = crashes.iter().find(|(r, _)| *r == rank) {
-                if ghost_crashed || pi > crash_phase {
-                    return; // dead (or never-started) ranks are skipped
-                }
-                if pi == crash_phase {
-                    panic!("ESIMCRASH: injected rank fault at {phase}");
+                match mode {
+                    WorldMode::Ghost => return,
+                    WorldMode::Truncated if pi >= crash_phase => return,
+                    WorldMode::Faulted if pi > crash_phase => return, // dead ranks stay dead
+                    WorldMode::Faulted if pi == crash_phase => {
+                        panic!("ESIMCRASH: injected rank fault at {phase}");
+                    }
+                    _ => {}
                 }
             }
             let pid = 100 + rank;
             let (_s, h5) =
-                cluster.process(pid, "alice", "resilient", ctx.clock().clone(), Some(&cfg));
+                cluster.process(pid, "alice", "resilient", ctx.clock().clone(), Some(cfg));
             let f = h5.create_file(&data_path(rank, pi)).unwrap();
             h5.close_file(f).unwrap();
         });
@@ -54,9 +74,11 @@ fn run_world(
 
     // Crashed ranks' processes died: their trackers vanish without a flush
     // (forgetting the Arc models a killed process — no Drop salvage).
-    for &(rank, _) in crashes {
-        if let Some(t) = cluster.registry.unregister(100 + rank) {
-            std::mem::forget(t);
+    if mode == WorldMode::Faulted {
+        for &(rank, _) in crashes {
+            if let Some(t) = cluster.registry.unregister(100 + rank) {
+                std::mem::forget(t);
+            }
         }
     }
     cluster.registry.finish_all();
@@ -67,7 +89,8 @@ fn run_world(
 fn sixty_four_ranks_survive_four_crashes_with_exact_accounting() {
     // One crash in each distinct phase.
     let crashes = [(5u32, 0usize), (17, 1), (33, 2), (60, 3)];
-    let (cluster, mut report) = run_world(64, &crashes, false);
+    let cfg = ProvIoConfig::default().shared();
+    let (cluster, mut report) = run_world(64, &crashes, WorldMode::Faulted, &cfg, None);
 
     // The run completed; the report lists exactly the crashed ranks, each
     // at its actual crash phase.
@@ -105,7 +128,7 @@ fn sixty_four_ranks_survive_four_crashes_with_exact_accounting() {
     // comparison: virtual I/O costs depend on global filesystem load, and
     // the crashed ranks' pre-crash work shifts survivor timings slightly.
     let timing = |iri: &str| iri.ends_with("#timestamp") || iri.ends_with("#elapsed");
-    let (baseline_cluster, _) = run_world(64, &crashes, true);
+    let (baseline_cluster, _) = run_world(64, &crashes, WorldMode::Ghost, &cfg, None);
     let (baseline, _) = merge_directory(&baseline_cluster.fs, "/provio");
     assert!(!baseline.is_empty());
     let mut compared = 0usize;
@@ -131,7 +154,8 @@ fn crashed_ranks_partial_phases_do_not_pollute_the_report() {
     // A rank that crashes in phase 2 completed phases 0 and 1; its earlier
     // work exists as workflow data but its provenance is gone with it.
     let crashes = [(3u32, 2usize)];
-    let (cluster, report) = run_world(8, &crashes, false);
+    let cfg = ProvIoConfig::default().shared();
+    let (cluster, report) = run_world(8, &crashes, WorldMode::Faulted, &cfg, None);
     assert_eq!(report.crashed.len(), 1);
     assert_eq!(report.crashed[0].phase, "reduce");
     // The workflow data from the pre-crash phases is on disk…
@@ -154,30 +178,35 @@ fn crashed_ranks_partial_phases_do_not_pollute_the_report() {
 /// Seeded crash sweep, parameterized by environment for the CI matrix:
 /// `PROVIO_SWEEP_WORLD` (ranks), `PROVIO_SWEEP_CRASH_PROB` (per-rank crash
 /// probability), `PROVIO_SWEEP_SEED` (crash-site selection).
-#[test]
-fn seeded_crash_sweep_accounts_for_every_rank() {
-    let env_u64 = |k: &str, d: u64| {
-        std::env::var(k)
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(d)
-    };
-    let world: u32 = env_u64("PROVIO_SWEEP_WORLD", 16) as u32;
-    let prob: f64 = std::env::var("PROVIO_SWEEP_CRASH_PROB")
+fn sweep_env<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(0.25);
-    let seed = env_u64("PROVIO_SWEEP_SEED", 7);
+        .unwrap_or(default)
+}
 
+/// Seeded crash-site selection shared by the sweep tests: every rank
+/// crashes with probability `prob`, at a uniformly chosen phase.
+fn seeded_crashes(world: u32, prob: f64, seed: u64) -> Vec<(u32, usize)> {
     let mut rng = DetRng::new(seed);
-    let mut crashes: Vec<(u32, usize)> = Vec::new();
+    let mut crashes = Vec::new();
     for r in 0..world {
         if rng.chance(prob) {
             crashes.push((r, rng.below(PHASES.len() as u64) as usize));
         }
     }
+    crashes
+}
 
-    let (cluster, mut report) = run_world(world, &crashes, false);
+#[test]
+fn seeded_crash_sweep_accounts_for_every_rank() {
+    let world: u32 = sweep_env("PROVIO_SWEEP_WORLD", 16u32);
+    let prob: f64 = sweep_env("PROVIO_SWEEP_CRASH_PROB", 0.25f64);
+    let seed: u64 = sweep_env("PROVIO_SWEEP_SEED", 7u64);
+    let crashes = seeded_crashes(world, prob, seed);
+
+    let cfg = ProvIoConfig::default().shared();
+    let (cluster, mut report) = run_world(world, &crashes, WorldMode::Faulted, &cfg, None);
     let crashed_ranks: HashSet<u32> = report.crashed.iter().map(|c| c.rank).collect();
     let expected: HashSet<u32> = crashes.iter().map(|(r, _)| *r).collect();
     assert_eq!(crashed_ranks, expected, "exactly the seeded ranks crashed");
@@ -190,6 +219,106 @@ fn seeded_crash_sweep_accounts_for_every_rank() {
     report.attach_merge(report.surviving_ranks().len(), &mrep);
     assert_eq!(report.completeness(), 1.0, "all survivor sub-graphs merged");
     assert!(doctor(&graph).is_clean());
+}
+
+/// WAL ablation over the env-seeded crash sweep (`PROVIO_SWEEP_WORLD`,
+/// `PROVIO_SWEEP_CRASH_PROB`, `PROVIO_SWEEP_SEED`, `PROVIO_SWEEP_WAL_GROUP`).
+///
+/// Crashing ranks additionally sit on a failing storage target: every
+/// snapshot/segment commit of their store is dropped, so nothing they
+/// record ever reaches a committed file. With `wal = false` that loss is
+/// exact — the merged graph is the ghost baseline, and every structural
+/// triple the crashed ranks produced pre-crash is gone. With `wal = true`
+/// the journal (whose appends bypass the commit fault, as on a real
+/// system where the WAL lives on a separate healthy device) is replayed
+/// at merge time, and residual loss per crashed rank is bounded by the
+/// group-commit size: at most `wal_group` records were still riding in
+/// the unflushed buffer.
+#[test]
+fn wal_ablation_bounds_crashed_rank_loss_to_the_group_commit_size() {
+    let world: u32 = sweep_env("PROVIO_SWEEP_WORLD", 16u32);
+    let prob: f64 = sweep_env("PROVIO_SWEEP_CRASH_PROB", 0.25f64);
+    let seed: u64 = sweep_env("PROVIO_SWEEP_SEED", 7u64);
+    let wal_group: u32 = sweep_env("PROVIO_SWEEP_WAL_GROUP", 8u32);
+    let mut crashes = seeded_crashes(world, prob, seed);
+    if crashes.is_empty() {
+        crashes.push((world / 2, 2)); // always have a loss to measure
+    }
+
+    let cfg_for = |wal: bool| {
+        ProvIoConfig::default()
+            .with_policy(SerializationPolicy::EveryRecords(1))
+            .synchronous()
+            .with_retry(RetryPolicy {
+                max_attempts: 1,
+                backoff_ns: 0,
+            })
+            .with_wal(wal, wal_group)
+            .shared()
+    };
+    // Drop every store commit (snapshot tmp + delta-segment tmp) of the
+    // crashing ranks; journal generations (`.ttl.wNNNNNN.nt`) match
+    // neither substring and stay writable.
+    let plan_for = || {
+        let plan = FaultPlan::new(seed ^ 0xF1);
+        for &(r, _) in &crashes {
+            let pid = 100 + r;
+            plan.add_rule(
+                FaultRule::fail(FaultOp::WriteAt, FsError::Io)
+                    .on_path(format!("prov_p{pid}.ttl.tmp")),
+            );
+            plan.add_rule(
+                FaultRule::fail(FaultOp::WriteAt, FsError::Io)
+                    .on_path(format!("prov_p{pid}.ttl.d")),
+            );
+        }
+        plan
+    };
+    let timing = |iri: &str| iri.ends_with("#timestamp") || iri.ends_with("#elapsed");
+    let structural_missing = |from: &prov_io::rdf::Graph, merged: &prov_io::rdf::Graph| {
+        from.iter()
+            .filter(|t| !timing(t.predicate.as_str()) && !merged.contains(t))
+            .count()
+    };
+
+    // Loss-measurement baseline: the crashed ranks' exact pre-crash work,
+    // committed cleanly (no faults, no crash).
+    let (base_cluster, _) = run_world(world, &crashes, WorldMode::Truncated, &cfg_for(false), None);
+    let (baseline, _) = merge_directory(&base_cluster.fs, "/provio");
+    // Ghost baseline: survivors only.
+    let (ghost_cluster, _) = run_world(world, &crashes, WorldMode::Ghost, &cfg_for(false), None);
+    let (ghost, _) = merge_directory(&ghost_cluster.fs, "/provio");
+    let crashed_work = structural_missing(&baseline, &ghost);
+    assert!(crashed_work > 0, "crashed ranks did measurable pre-crash work");
+
+    // wal = false: exact loss — everything the crashed ranks recorded.
+    let (c_off, _) = run_world(world, &crashes, WorldMode::Faulted, &cfg_for(false), Some(plan_for()));
+    let (g_off, m_off) = merge_directory(&c_off.fs, "/provio");
+    assert_eq!(m_off.replayed_triples, 0, "no journal, nothing to replay");
+    assert_eq!(
+        structural_missing(&baseline, &g_off),
+        crashed_work,
+        "without the journal, loss is exact: the crashed ranks' entire output"
+    );
+    assert_eq!(
+        structural_missing(&ghost, &g_off),
+        0,
+        "survivor provenance is never collateral damage"
+    );
+
+    // wal = true: replay recovers the journaled records; residual loss is
+    // bounded by the group-commit size per crashed rank.
+    let (c_on, _) = run_world(world, &crashes, WorldMode::Faulted, &cfg_for(true), Some(plan_for()));
+    let (g_on, m_on) = merge_directory(&c_on.fs, "/provio");
+    assert!(m_on.replayed_triples > 0, "journal replay recovered records");
+    let residual = structural_missing(&baseline, &g_on);
+    assert!(
+        residual <= crashes.len() * wal_group as usize,
+        "bounded loss: {residual} missing > {} crashed ranks x wal_group {wal_group}",
+        crashes.len()
+    );
+    assert_eq!(structural_missing(&ghost, &g_on), 0);
+    assert!(doctor(&g_on).is_clean());
 }
 
 #[test]
