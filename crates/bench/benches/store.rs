@@ -99,6 +99,32 @@ fn run_flush_workload_opts(delta: bool, checksums: bool, n: usize) -> Duration {
     start.elapsed()
 }
 
+/// The checksummed workload plus the run seal: after `finish`, the
+/// directory is signed — every file's Merkle root into a manifest, the
+/// manifest HMAC'd and chained into the campaign ledger. This is the
+/// full trust tier on top of the rot tier, timed end to end.
+fn run_flush_workload_sealed(n: usize) -> Duration {
+    let fs = FileSystem::new(LustreConfig::default());
+    let st = store_opts(&fs, "/prov/rank0.nt", true, true);
+    let data = triples(0..n);
+    let start = Instant::now();
+    for chunk in data.chunks(FLUSH_INTERVAL) {
+        st.push(chunk.to_vec(), None);
+        st.flush(None);
+    }
+    st.finish(None);
+    // Seal with the store's commit-time root cache, the same call
+    // `finish_all` makes — the walk still defines the file list, the
+    // cache just spares the re-read of the run's own commits.
+    let roots: provio::verify::RootCache = st
+        .committed_roots()
+        .into_iter()
+        .map(|(p, n, r)| (p, (n, r)))
+        .collect();
+    provio::verify::seal_run_with_roots(&fs, "/prov", "bench-key", &[], &roots).expect("seal");
+    start.elapsed()
+}
+
 /// The same workload with the write-ahead journal on: every push is
 /// group-committed to the journal, every flush forces the tail out and
 /// recycles the generation.
@@ -124,6 +150,9 @@ fn bench_flush(c: &mut Criterion) {
         });
         group.bench_function(format!("checksummed/{n}"), |b| {
             b.iter(|| black_box(run_flush_workload_opts(true, true, n)));
+        });
+        group.bench_function(format!("sealed/{n}"), |b| {
+            b.iter(|| black_box(run_flush_workload_sealed(n)));
         });
         for g in WAL_GROUPS {
             group.bench_function(format!("wal{g}/{n}"), |b| {
@@ -210,12 +239,14 @@ fn headline_comparison() {
         run_flush_workload(false, n.min(10_000));
         run_flush_workload(true, n.min(10_000));
         run_flush_workload_opts(true, true, n.min(10_000));
+        run_flush_workload_sealed(n.min(10_000));
         for g in WAL_GROUPS {
             run_flush_workload_wal(n.min(10_000), g);
         }
         let legacy = best_of(2, || run_flush_workload(false, n));
         let delta = best_of(3, || run_flush_workload(true, n));
         let checksummed = best_of(3, || run_flush_workload_opts(true, true, n));
+        let sealed = best_of(3, || run_flush_workload_sealed(n));
         let wal_ms: Vec<f64> = WAL_GROUPS
             .iter()
             .map(|&g| best_of(3, || run_flush_workload_wal(n, g)).as_secs_f64() * 1e3)
@@ -223,14 +254,19 @@ fn headline_comparison() {
         let legacy_ms = legacy.as_secs_f64() * 1e3;
         let delta_ms = delta.as_secs_f64() * 1e3;
         let checksummed_ms = checksummed.as_secs_f64() * 1e3;
+        let sealed_ms = sealed.as_secs_f64() * 1e3;
         let speedup = legacy_ms / delta_ms.max(1e-9);
         let overhead_pct = (checksummed_ms / delta_ms.max(1e-9) - 1.0) * 100.0;
+        // The trust tier's cost: Merkle roots + signed manifest + ledger
+        // append, relative to the checksummed workload it runs on top of.
+        let manifest_overhead_pct = (sealed_ms / checksummed_ms.max(1e-9) - 1.0) * 100.0;
         // The durability contract's cost: journal overhead at the default
         // group-commit size, relative to the journal-free delta protocol.
         let wal64_overhead_pct = (wal_ms[1] / delta_ms.max(1e-9) - 1.0) * 100.0;
         println!(
             "store_headline/{n}: legacy {legacy_ms:.1} ms, delta {delta_ms:.1} ms, {speedup:.1}x; \
              checksummed {checksummed_ms:.1} ms ({overhead_pct:+.1}% vs delta); \
+             sealed {sealed_ms:.1} ms ({manifest_overhead_pct:+.1}% vs checksummed); \
              wal g1 {:.1} ms, g64 {:.1} ms ({wal64_overhead_pct:+.1}% vs delta), g1024 {:.1} ms",
             wal_ms[0], wal_ms[1], wal_ms[2]
         );
@@ -243,6 +279,8 @@ fn headline_comparison() {
              \"delta_segments_ms\": {delta_ms:.2}, \"speedup\": {speedup:.2}, \
              \"checksummed_delta_ms\": {checksummed_ms:.2}, \
              \"checksum_overhead_pct\": {overhead_pct:.2}, \
+             \"sealed_manifest_ms\": {sealed_ms:.2}, \
+             \"manifest_overhead_pct\": {manifest_overhead_pct:.2}, \
              \"wal_group1_ms\": {:.2}, \"wal_group64_ms\": {:.2}, \
              \"wal_group1024_ms\": {:.2}, \
              \"wal_group64_overhead_pct\": {wal64_overhead_pct:.2}}}",
@@ -272,6 +310,10 @@ fn headline_comparison() {
          \"after\": \"snapshot + append-only delta segments, compaction every 64\",\n  \
          \"checksummed\": \"delta protocol + framed format: per-file identity header, \
          per-batch CRC32 frames, chained footer hash\",\n  \
+         \"sealed\": \"checksummed workload + run seal at finish: per-file Merkle \
+         roots collected into MANIFEST.provio, HMAC-SHA256 signed, digest chained \
+         into the CAMPAIGN.provio ledger; manifest_overhead_pct is sealed vs \
+         checksummed\",\n  \
          \"wal\": \"delta protocol + write-ahead journal: push-time group commits \
          of framed N-Triples records, recycled on every successful flush; \
          wal_groupN_ms is the workload with group-commit size N\",\n  \

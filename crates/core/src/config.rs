@@ -151,6 +151,19 @@ pub struct ProvIoConfig {
     /// Records per WAL group commit (`[store] wal_group`; must be ≥ 1).
     /// 1 = commit every record (strongest bound, highest overhead).
     pub wal_group: u32,
+    /// Emit a signed run manifest (`<store_dir>/MANIFEST.provio`) at
+    /// `finish_all` and chain its digest into the campaign ledger
+    /// (`<store_dir>/CAMPAIGN.provio`) — the tamper-evidence layer on top
+    /// of the (accident-evidence) checksummed format (`[store] manifest`).
+    /// `false` (the default) leaves run directories unsigned; `verify`
+    /// reports them `Unsigned` rather than erroring.
+    pub manifest: bool,
+    /// Key for the manifest's HMAC-SHA256 signature (`[store]
+    /// manifest_key`). The default is deliberately insecure — a published
+    /// constant — so that demos and tests work out of the box while any
+    /// real deployment is forced to set its own; treat a run signed by the
+    /// default key as integrity-checked, not authenticated.
+    pub manifest_key: String,
     /// Evaluation budget for SPARQL queries run through the engine, in
     /// produced bindings/visited path nodes (`[query] query_budget`;
     /// 0 = unlimited). A runaway query over a corrupted graph terminates
@@ -178,6 +191,11 @@ pub const DEFAULT_BREAKER_BACKOFF_NS: u64 = 100_000_000;
 /// burst of records, large enough to amortize the journal append.
 pub const DEFAULT_WAL_GROUP: u32 = 64;
 
+/// Default manifest HMAC key (see [`ProvIoConfig::manifest_key`]): a
+/// published constant, so signatures made with it prove integrity but not
+/// authenticity.
+pub const DEFAULT_MANIFEST_KEY: &str = "provio-insecure-default-key";
+
 impl Default for ProvIoConfig {
     fn default() -> Self {
         ProvIoConfig {
@@ -198,6 +216,8 @@ impl Default for ProvIoConfig {
             checksum_format: false,
             wal: false,
             wal_group: DEFAULT_WAL_GROUP,
+            manifest: false,
+            manifest_key: DEFAULT_MANIFEST_KEY.to_string(),
             query_budget: 0,
         }
     }
@@ -291,6 +311,21 @@ impl ProvIoConfig {
         self
     }
 
+    /// Emit a signed run manifest + campaign ledger entry at `finish_all`.
+    /// Implies nothing about `checksum_format` — but unframed files can
+    /// only be anchored by a whole-file digest, so framed stores verify at
+    /// batch granularity and legacy stores as opaque blobs.
+    pub fn with_manifest(mut self, enabled: bool) -> Self {
+        self.manifest = enabled;
+        self
+    }
+
+    /// Set the manifest signing key (see [`ProvIoConfig::manifest_key`]).
+    pub fn with_manifest_key(mut self, key: impl Into<String>) -> Self {
+        self.manifest_key = key.into();
+        self
+    }
+
     /// Cap SPARQL evaluation work (0 = unlimited).
     pub fn with_query_budget(mut self, budget: u64) -> Self {
         self.query_budget = budget;
@@ -312,6 +347,8 @@ impl ProvIoConfig {
     /// `checksum_format` (`true`/`false`, framed checksummed store files),
     /// `wal` (`true`/`false`, per-process write-ahead journal),
     /// `wal_group` (`<n>` records per WAL group commit, must be ≥ 1),
+    /// `manifest` (`true`/`false`, signed run manifest + campaign ledger),
+    /// `manifest_key` (HMAC key for manifest signatures),
     /// `query_budget` (`<n>` evaluation steps, 0 = unlimited),
     /// `workflow_type`, `preset` (one of the Table 3 presets),
     /// and `track`/`untrack` with a comma-separated item list
@@ -396,6 +433,17 @@ impl ProvIoConfig {
                             lineno + 1
                         ));
                     }
+                }
+                "manifest" => {
+                    cfg.manifest = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad bool", lineno + 1))?
+                }
+                "manifest_key" => {
+                    if value.is_empty() {
+                        return Err(format!("line {}: manifest_key must not be empty", lineno + 1));
+                    }
+                    cfg.manifest_key = value.to_string()
                 }
                 "query_budget" => {
                     cfg.query_budget = value
@@ -657,6 +705,34 @@ mod tests {
         assert!(ProvIoConfig::from_ini("wal_group = many").is_err());
         let err = ProvIoConfig::from_ini("wal = true\nwal_group = 0\n").unwrap_err();
         assert!(err.contains("wal_group must be >= 1"), "err: {err}");
+    }
+
+    #[test]
+    fn manifest_knobs_default_builder_and_ini() {
+        let c = ProvIoConfig::default();
+        assert!(!c.manifest, "unsigned unless asked");
+        assert_eq!(c.manifest_key, DEFAULT_MANIFEST_KEY);
+
+        let c = ProvIoConfig::default()
+            .with_manifest(true)
+            .with_manifest_key("campaign-7-signing-key");
+        assert!(c.manifest);
+        assert_eq!(c.manifest_key, "campaign-7-signing-key");
+
+        let c = ProvIoConfig::from_ini(
+            "[store]\nmanifest = true\nmanifest_key = s3cret\n",
+        )
+        .unwrap();
+        assert!(c.manifest);
+        assert_eq!(c.manifest_key, "s3cret");
+
+        // `manifest` alone keeps the (insecure, published) default key.
+        let c = ProvIoConfig::from_ini("manifest = true\n").unwrap();
+        assert_eq!(c.manifest_key, DEFAULT_MANIFEST_KEY);
+
+        assert!(ProvIoConfig::from_ini("manifest = sure").is_err());
+        let err = ProvIoConfig::from_ini("manifest_key =\n").unwrap_err();
+        assert!(err.contains("must not be empty"), "err: {err}");
     }
 
     #[test]

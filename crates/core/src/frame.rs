@@ -12,7 +12,7 @@
 //! <urn:s> <urn:p> <urn:o2> .
 //! #~B lines=1 crc=22cc33dd
 //! <urn:s2> <urn:p> <urn:o> .
-//! #~F batches=2 chain=deadbeef
+//! #~F batches=2 chain=deadbeef root=9f86d081884c7d65…
 //! ```
 //!
 //! * **Header** — magic + format version (`PROVIO1`), the frame kind, the
@@ -25,10 +25,16 @@
 //!   single-bit error and every burst up to 32 bits, so a seeded bit flip
 //!   inside a batch can never verify; the batch is skipped and its intact
 //!   siblings salvaged.
-//! * **Footer** — the batch count and `chain`, the CRC-32 of the header
-//!   line. Since the header embeds `guid`/`ordinal`/`prev`, the chain value
-//!   commits to the file's identity and position; the *next* file's header
-//!   must carry it as `prev`.
+//! * **Footer** — the batch count; `chain`, the CRC-32 of the header line
+//!   (since the header embeds `guid`/`ordinal`/`prev`, the chain value
+//!   commits to the file's identity and position, and the *next* file's
+//!   header must carry it as `prev`); and `root`, the SHA-256 Merkle root
+//!   folding the batch CRCs ([`merkle_root`]). The root is what a signed
+//!   run manifest anchors: CRC-32 frames catch *accidental* damage, but an
+//!   adversary can rewrite a batch and patch its CRC — only a digest they
+//!   cannot forge, compared against a copy they cannot re-sign, catches
+//!   that. [`decode`] reports but never *enforces* the root (bit-rot
+//!   salvage semantics are unchanged); enforcement lives in `verify`.
 //!
 //! Batch payload lines must not begin with the reserved `#~` sigil — RDF
 //! serializations never do. Decoding never trusts a marker's `lines=` field
@@ -106,6 +112,14 @@ pub struct FramedFile {
     pub batches_total: usize,
     /// Batches that failed verification and were dropped from `payload`.
     pub batches_corrupt: usize,
+    /// Merkle root the footer claims (None on pre-root footers).
+    pub declared_root: Option<[u8; 32]>,
+    /// Merkle root recomputed from the batch bodies as found on disk.
+    /// [`decode`] reports the mismatch but does not act on it: a root-only
+    /// mismatch (every CRC verifies, identity verifies) is *tamper*, not
+    /// rot, and is judged against the signed manifest by `verify`, not
+    /// against the (equally rewritable) footer.
+    pub computed_root: [u8; 32],
 }
 
 impl FramedFile {
@@ -208,6 +222,22 @@ pub fn encode(
     payload: &str,
     batch_lines: usize,
 ) -> (String, u32) {
+    let (out, chain, _) = encode_with_root(kind, guid, ordinal, prev, payload, batch_lines);
+    (out, chain)
+}
+
+/// [`encode`], additionally returning the frame's Merkle root — what
+/// [`file_root`] would recompute from the committed bytes. Writers cache
+/// it per committed path so sealing a run does not have to re-read and
+/// re-CRC files the store itself just wrote.
+pub fn encode_with_root(
+    kind: FrameKind,
+    guid: u64,
+    ordinal: u64,
+    prev: u32,
+    payload: &str,
+    batch_lines: usize,
+) -> (String, u32, [u8; 32]) {
     use std::fmt::Write as _;
     let header = format!(
         "{MAGIC} kind={} guid={guid:016x} ordinal={ordinal} prev={prev:08x}",
@@ -224,6 +254,7 @@ pub fn encode(
     // payload whose last line lacks one checksums as if it were there).
     let bytes = payload.as_bytes();
     let mut batches = 0usize;
+    let mut leaves: Vec<u32> = Vec::new();
     let mut pos = 0usize;
     while pos < bytes.len() {
         let start = pos;
@@ -257,10 +288,93 @@ pub fn encode(
         if missing_final_newline {
             out.push('\n');
         }
+        leaves.push(crc);
         batches += 1;
     }
-    let _ = writeln!(out, "{FOOTER_SIGIL} batches={batches} chain={chain:08x}");
-    (out, chain)
+    let root = merkle_root(&leaves);
+    let _ = writeln!(
+        out,
+        "{FOOTER_SIGIL} batches={batches} chain={chain:08x} root={}",
+        sha2::hex(&root)
+    );
+    (out, chain, root)
+}
+
+/// Fold per-batch CRC-32 values into a SHA-256 Merkle root: each leaf is
+/// the SHA-256 of the CRC's 4 big-endian bytes, interior nodes hash the
+/// concatenation of their children, and an odd node is promoted unchanged.
+/// Zero leaves root at `SHA-256("")`. CRC leaves keep the hot flush path at
+/// CRC speed — the (few) interior hashes are the only SHA-256 work — while
+/// the root still commits to every batch's content and order strongly
+/// enough to anchor in a signed manifest.
+pub fn merkle_root(leaves: &[u32]) -> [u8; 32] {
+    let mut level: Vec<[u8; 32]> = leaves
+        .iter()
+        .map(|&crc| sha2::sha256(&crc.to_be_bytes()))
+        .collect();
+    if level.is_empty() {
+        return sha2::sha256(b"");
+    }
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if let [l, r] = pair {
+                let mut h = sha2::Sha256::new();
+                h.update(l);
+                h.update(r);
+                next.push(h.finalize());
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// Recompute a framed file's Merkle root straight from its on-disk text in
+/// one pass — batch bodies are CRC'd as contiguous slices, no payload
+/// reassembly. Works on single frames and on WAL generation files (a
+/// concatenation of frames: leaves accumulate across every chunk in
+/// order). Returns `None` for files that do not open with the magic —
+/// legacy stores have no root to recompute.
+///
+/// This is the manifest writer's and verifier's view of a file: the root
+/// of *what is actually on disk*, regardless of what any (rewritable)
+/// footer claims.
+pub fn file_root(text: &str) -> Option<[u8; 32]> {
+    let bytes = text.as_bytes();
+    let header_end = match bytes.iter().position(|&b| b == b'\n') {
+        Some(nl) => nl + 1,
+        None => bytes.len(),
+    };
+    if !text[..header_end].starts_with(MAGIC) {
+        return None;
+    }
+    let mut leaves: Vec<u32> = Vec::new();
+    let mut body_start: Option<usize> = None;
+    let mut pos = header_end;
+    while pos < bytes.len() {
+        let line_end = match bytes[pos..].iter().position(|&b| b == b'\n') {
+            Some(nl) => pos + nl + 1,
+            None => bytes.len(),
+        };
+        let line = &bytes[pos..line_end];
+        if line.starts_with(BATCH_SIGIL.as_bytes()) || line.starts_with(FOOTER_SIGIL.as_bytes()) {
+            if let Some(s) = body_start.take() {
+                leaves.push(crc32(&bytes[s..pos]));
+            }
+            if line.starts_with(BATCH_SIGIL.as_bytes()) {
+                body_start = Some(line_end);
+            }
+        }
+        pos = line_end;
+    }
+    if let Some(s) = body_start {
+        // Torn tail: no closing marker, fold what is there.
+        leaves.push(crc32(&bytes[s..]));
+    }
+    Some(merkle_root(&leaves))
 }
 
 /// Streaming framer for the store's hot write path. Where [`encode`] takes
@@ -274,6 +388,7 @@ pub struct Encoder {
     out: Vec<u8>,
     chain: u32,
     batches: usize,
+    leaves: Vec<u32>,
 }
 
 impl Encoder {
@@ -286,7 +401,12 @@ impl Encoder {
         let mut out = Vec::with_capacity(4096);
         out.extend_from_slice(header.as_bytes());
         out.push(b'\n');
-        Encoder { out, chain, batches: 0 }
+        Encoder {
+            out,
+            chain,
+            batches: 0,
+            leaves: Vec::new(),
+        }
     }
 
     /// Pre-size the output for the payload to come (sum of line lengths).
@@ -323,6 +443,7 @@ impl Encoder {
             *b = b"0123456789abcdef"[((crc >> (28 - 4 * i)) & 0xF) as usize];
         }
         self.out[crc_at..crc_at + 8].copy_from_slice(&hex);
+        self.leaves.push(crc);
         self.batches += 1;
     }
 
@@ -351,18 +472,29 @@ impl Encoder {
             *b = b"0123456789abcdef"[((crc >> (28 - 4 * i)) & 0xF) as usize];
         }
         self.out[crc_at..crc_at + 8].copy_from_slice(&hex);
+        self.leaves.push(crc);
         self.batches += 1;
     }
 
     /// Seal the file with its footer; returns the framed bytes and the
     /// chain value the store's next file must carry as `prev`.
-    pub fn finish(mut self) -> (Vec<u8>, u32) {
+    pub fn finish(self) -> (Vec<u8>, u32) {
+        let (out, chain, _) = self.finish_with_root();
+        (out, chain)
+    }
+
+    /// [`Self::finish`], additionally returning the frame's Merkle root
+    /// (see [`encode_with_root`]) for the writer's commit-time root cache.
+    pub fn finish_with_root(mut self) -> (Vec<u8>, u32, [u8; 32]) {
+        let root = merkle_root(&self.leaves);
         let _ = writeln!(
             self.out,
-            "{FOOTER_SIGIL} batches={} chain={:08x}",
-            self.batches, self.chain
+            "{FOOTER_SIGIL} batches={} chain={:08x} root={}",
+            self.batches,
+            self.chain,
+            sha2::hex(&root)
         );
-        (self.out, self.chain)
+        (self.out, self.chain, root)
     }
 }
 
@@ -417,20 +549,39 @@ fn parse_batch_marker(line: &str) -> Option<(usize, u32)> {
     Some((lines?, crc?))
 }
 
-fn parse_footer(line: &str) -> Option<(usize, u32)> {
+fn parse_hex32(s: &str) -> Option<[u8; 32]> {
+    if s.len() != 64 {
+        return None;
+    }
+    let mut out = [0u8; 32];
+    for (i, pair) in s.as_bytes().chunks(2).enumerate() {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out[i] = ((hi << 4) | lo) as u8;
+    }
+    Some(out)
+}
+
+/// `root=` is optional — PR 4–5 footers predate it and must keep decoding
+/// (such stores verify as `Unsigned`, never error) — but when present it
+/// must parse, and unknown tokens still condemn the line.
+fn parse_footer(line: &str) -> Option<(usize, u32, Option<[u8; 32]>)> {
     let rest = line.strip_prefix(FOOTER_SIGIL)?;
     let mut batches = None;
     let mut chain = None;
+    let mut root = None;
     for tok in rest.split_ascii_whitespace() {
         if let Some(v) = field(tok, "batches=") {
             batches = v.parse::<usize>().ok();
         } else if let Some(v) = field(tok, "chain=") {
             chain = u32::from_str_radix(v, 16).ok();
+        } else if let Some(v) = field(tok, "root=") {
+            root = Some(parse_hex32(v)?);
         } else {
             return None;
         }
     }
-    Some((batches?, chain?))
+    Some((batches?, chain?, root))
 }
 
 /// Decode a framed file, verifying header, batches, footer, and chain
@@ -460,7 +611,7 @@ pub fn decode(text: &str) -> Result<FramedFile, FrameError> {
         body: Vec<&'a str>,
     }
     let mut batches: Vec<Batch> = Vec::new();
-    let mut footer: Option<(usize, u32)> = None;
+    let mut footer: Option<(usize, u32, Option<[u8; 32]>)> = None;
     for line in lines {
         if footer.is_some() {
             if !line.trim().is_empty() {
@@ -489,7 +640,7 @@ pub fn decode(text: &str) -> Result<FramedFile, FrameError> {
             }
         }
     }
-    let Some((declared, footer_chain)) = footer else {
+    let Some((declared, footer_chain, declared_root)) = footer else {
         return Err(FrameError::Quarantine("missing footer"));
     };
     if footer_chain != chain {
@@ -498,11 +649,14 @@ pub fn decode(text: &str) -> Result<FramedFile, FrameError> {
 
     let mut payload = String::new();
     let mut intact = 0usize;
+    let mut leaves: Vec<u32> = Vec::with_capacity(batches.len());
     for b in &batches {
         let body: String = b.body.iter().flat_map(|l| [l, "\n"]).collect();
+        let body_crc = crc32(body.as_bytes());
+        leaves.push(body_crc);
         let ok = b
             .spec
-            .is_some_and(|(n, crc)| b.body.len() == n && crc32(body.as_bytes()) == crc);
+            .is_some_and(|(n, crc)| b.body.len() == n && body_crc == crc);
         if ok {
             payload.push_str(&body);
             intact += 1;
@@ -521,6 +675,8 @@ pub fn decode(text: &str) -> Result<FramedFile, FrameError> {
         payload,
         batches_total,
         batches_corrupt: batches_total - intact,
+        declared_root,
+        computed_root: merkle_root(&leaves),
     })
 }
 
@@ -873,6 +1029,119 @@ mod tests {
         let (blocked, block_chain) = by_block.finish();
         assert_eq!(blocked, split);
         assert_eq!(block_chain, split_chain);
+    }
+
+    #[test]
+    fn footer_root_round_trips_and_matches_every_recomputation() {
+        let guid = store_guid("/provio/prov_p1.nt");
+        for batch_lines in [1, 2, 64] {
+            let (text, _) = encode(FrameKind::Snapshot, guid, 0, CHAIN_START, PAYLOAD, batch_lines);
+            let f = decode(&text).unwrap();
+            let declared = f.declared_root.expect("encode writes a root");
+            assert_eq!(declared, f.computed_root, "intact file roots agree");
+            assert_eq!(file_root(&text), Some(declared), "one-pass scan agrees");
+            // The root is exactly the Merkle fold of the marker CRCs.
+            let crcs: Vec<u32> = text
+                .lines()
+                .filter_map(parse_batch_marker)
+                .map(|(_, crc)| crc)
+                .collect();
+            assert_eq!(crcs.len(), f.batches_total);
+            assert_eq!(merkle_root(&crcs), declared);
+        }
+        // Roots commit to content, order, and batching.
+        let (a, _) = encode(FrameKind::Snapshot, guid, 0, CHAIN_START, PAYLOAD, 1);
+        let (b, _) = encode(FrameKind::Snapshot, guid, 0, CHAIN_START, PAYLOAD, 2);
+        assert_ne!(file_root(&a), file_root(&b));
+        let swapped = "<urn:a> <urn:p> <urn:c> .\n<urn:a> <urn:p> <urn:b> .\n<urn:b> <urn:p> <urn:c> .\n";
+        let (c, _) = encode(FrameKind::Snapshot, guid, 0, CHAIN_START, swapped, 1);
+        assert_ne!(file_root(&a), file_root(&c));
+    }
+
+    #[test]
+    fn legacy_rootless_footers_still_decode() {
+        // A PR 4–5 era file: same format minus the footer root.
+        let guid = store_guid("/provio/prov_p1.nt");
+        let (text, chain) = encode(FrameKind::Delta, guid, 3, 0xAB, PAYLOAD, 2);
+        let rootless: String = text
+            .lines()
+            .map(|l| {
+                if let Some(at) = l.find(" root=") {
+                    &l[..at]
+                } else {
+                    l
+                }
+            })
+            .flat_map(|l| [l, "\n"])
+            .collect();
+        let f = decode(&rootless).unwrap();
+        assert!(f.intact());
+        assert_eq!(f.chain, chain);
+        assert_eq!(f.declared_root, None, "no root claimed");
+        assert_eq!(f.payload, PAYLOAD);
+    }
+
+    #[test]
+    fn root_mismatch_is_reported_not_enforced() {
+        // An adversary rewrites a batch and patches its CRC: every batch
+        // verifies, identity verifies — decode must accept (this tier only
+        // proves internal consistency) while exposing the root mismatch
+        // for the manifest tier to judge.
+        let guid = store_guid("/provio/prov_p1.nt");
+        let (text, _) = encode(FrameKind::Snapshot, guid, 0, CHAIN_START, PAYLOAD, 1);
+        let victim = "<urn:a> <urn:p> <urn:c> .";
+        let forged = "<urn:a> <urn:p> <urn:F> .";
+        let mut crc = crc32fast::Hasher::new();
+        crc.update(forged.as_bytes());
+        crc.update(b"\n");
+        let mut old = crc32fast::Hasher::new();
+        old.update(victim.as_bytes());
+        old.update(b"\n");
+        let tampered = text
+            .replace(victim, forged)
+            .replace(
+                &format!("crc={:08x}", old.finalize()),
+                &format!("crc={:08x}", crc.finalize()),
+            );
+        let f = decode(&tampered).unwrap();
+        assert!(f.intact(), "patched CRC verifies — that is the attack");
+        assert!(f.payload.contains("<urn:F>"));
+        assert_ne!(
+            Some(f.computed_root),
+            f.declared_root,
+            "the footer root still convicts (until the adversary patches it too — then only the manifest can)"
+        );
+        // Footer-root damage that stays hex is likewise reported, not
+        // enforced; non-hex damage condemns the footer line itself.
+        let root_at = text.find(" root=").unwrap() + " root=".len();
+        let mut hexflip = text.clone().into_bytes();
+        hexflip[root_at] = if hexflip[root_at] == b'0' { b'1' } else { b'0' };
+        let g = decode(std::str::from_utf8(&hexflip).unwrap()).unwrap();
+        assert!(g.intact());
+        assert_ne!(Some(g.computed_root), g.declared_root);
+        let mut nonhex = text.into_bytes();
+        nonhex[root_at] = b'z';
+        assert_eq!(
+            decode(std::str::from_utf8(&nonhex).unwrap()),
+            Err(FrameError::Quarantine("malformed footer"))
+        );
+    }
+
+    #[test]
+    fn wal_generation_files_carry_a_recomputable_root() {
+        let guid = store_guid("/provio/prov_p1.nt");
+        let (c0, ch0) = wal_chunk(guid, 0, CHAIN_START, &["<urn:s0> <urn:p> <urn:o> ."]);
+        let (c1, _) = wal_chunk(guid, 1, ch0, &["<urn:s1> <urn:p> <urn:o> ."]);
+        let mut text = c0.clone();
+        text.extend_from_slice(&c1);
+        let whole = String::from_utf8(text).unwrap();
+        let root = file_root(&whole).expect("wal generations are framed");
+        // The root covers both chunks: reordering or dropping one changes it.
+        let first_only = String::from_utf8(c0).unwrap();
+        assert_ne!(file_root(&first_only), Some(root));
+        // Legacy text has no root.
+        assert_eq!(file_root(PAYLOAD), None);
+        assert_eq!(file_root(""), None);
     }
 
     #[test]

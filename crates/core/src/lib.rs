@@ -34,6 +34,7 @@ pub mod merge;
 pub mod report;
 pub mod store;
 pub mod tracker;
+pub mod verify;
 pub mod wrapper;
 
 pub use api::ProvIoApi;
@@ -45,4 +46,7 @@ pub use merge::{merge_directory, merge_directory_sequential};
 pub use report::{doctor, DoctorReport, RankCrash, RunReport};
 pub use store::{BreakerState, ProvenanceStore};
 pub use tracker::{IoEvent, ObjectDesc, ProvTracker, TrackerRegistry};
+pub use verify::{
+    quarantine_tampered, verify_directory, FileCheck, FileVerdict, VerifyReport,
+};
 pub use wrapper::PosixWrapper;

@@ -60,6 +60,27 @@ pub struct MergeReport {
     pub wal_tails_truncated: u64,
 }
 
+impl std::fmt::Display for MergeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "merge: {} files, {} triples, {} salvaged ({} batches), \
+             {} replayed from journals, {} files lost, {} recovered, \
+             {} quarantined, {} chain breaks, {} journal tails truncated",
+            self.files,
+            self.triples,
+            self.salvaged_triples,
+            self.salvaged_batches,
+            self.replayed_triples,
+            self.corrupt.len(),
+            self.recovered.len(),
+            self.quarantined.len(),
+            self.chain_breaks,
+            self.wal_tails_truncated,
+        )
+    }
+}
+
 #[derive(Clone, Copy)]
 enum Format {
     NTriples,
@@ -193,6 +214,12 @@ fn process_file(fs: &Arc<FileSystem>, path: &str, committed: &HashSet<&str>) -> 
     // Quarantined files were condemned by an earlier merge: never re-read,
     // never re-renamed.
     if path.ends_with(".quarantine") {
+        return Outcome::Skipped;
+    }
+    // Trust-layer artifacts (the signed run manifest and the campaign
+    // ledger) are not sub-graph files: `verify` owns them, the merge never
+    // parses them — and never adopts a manifest tmp as an orphan store.
+    if crate::verify::is_trust_artifact(path) {
         return Outcome::Skipped;
     }
     let is_wal = frame::is_wal_path(path);
@@ -1227,6 +1254,54 @@ mod tests {
         assert_eq!(r.replayed_triples, 0);
         assert!(r.recovered.is_empty());
         assert!(r.corrupt.is_empty());
+    }
+
+    #[test]
+    fn display_carries_every_counter() {
+        let report = MergeReport {
+            files: 5,
+            triples: 420,
+            corrupt: vec!["/provio/a.nt".into()],
+            recovered: vec!["/provio/b.nt.tmp".into()],
+            salvaged_triples: 7,
+            quarantined: vec!["/provio/c.nt".into()],
+            salvaged_batches: 3,
+            chain_breaks: 2,
+            replayed_triples: 9,
+            wal_tails_truncated: 1,
+        };
+        let line = report.to_string();
+        for needle in [
+            "5 files",
+            "420 triples",
+            "7 salvaged (3 batches)",
+            "9 replayed",
+            "1 files lost",
+            "1 recovered",
+            "1 quarantined",
+            "2 chain breaks",
+            "1 journal tails truncated",
+        ] {
+            assert!(line.contains(needle), "missing {needle:?} in {line}");
+        }
+    }
+
+    #[test]
+    fn trust_artifacts_are_never_merged_or_adopted() {
+        let fs = FileSystem::new(LustreConfig::default());
+        write_file(&fs, "/provio/prov_p0.nt", b"<urn:a> <urn:p> <urn:b> .\n");
+        // Neither the manifest, the ledger, nor a torn manifest tmp is a
+        // sub-graph: none may merge, none may be reported corrupt, and the
+        // orphan-tmp adoption path must not claim the tmp.
+        write_file(&fs, "/provio/MANIFEST.provio", b"# PROVIO-MANIFEST1 not rdf\n");
+        write_file(&fs, "/provio/MANIFEST.provio.tmp", b"# torn manife");
+        write_file(&fs, "/provio/CAMPAIGN.provio", b"# PROVIO1 kind=wal ledger\n");
+        let (g, r) = merge_directory(&fs, "/provio");
+        assert_eq!(r.files, 1);
+        assert_eq!(g.len(), 1);
+        assert!(r.corrupt.is_empty(), "corrupt: {:?}", r.corrupt);
+        assert!(r.recovered.is_empty(), "recovered: {:?}", r.recovered);
+        assert!(r.quarantined.is_empty());
     }
 
     #[test]

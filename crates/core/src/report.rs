@@ -24,6 +24,7 @@ use provio_mpi::RankOutcome;
 use provio_rdf::{ns, Graph};
 
 use crate::merge::MergeReport;
+use crate::verify::{FileVerdict, VerifyReport};
 
 /// One crashed rank, as witnessed by a superstep.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +72,21 @@ pub struct RunReport {
     /// Journal generation files whose torn or bit-rotted tail was truncated
     /// at the last verified chunk before replay.
     pub wal_tails_truncated: u64,
+    /// Files whose content root matched the signed run manifest.
+    pub verified_files: usize,
+    /// Files (or trust artifacts) `verify` condemned as tampered:
+    /// internally consistent but not what was signed.
+    pub tampered_files: usize,
+    /// Files no signed manifest covers (pre-manifest legacy runs, or a
+    /// manifest that failed its own signature).
+    pub unsigned_files: usize,
+    /// Manifest files `verify` found listed but absent on disk.
+    pub missing_files: usize,
+    /// Did the run manifest parse and verify under the campaign key?
+    /// `None` until a [`VerifyReport`] is attached (no verify pass ran).
+    pub manifest_ok: Option<bool>,
+    /// Did the campaign ledger seal this run's manifest?
+    pub ledger_ok: bool,
 }
 
 impl RunReport {
@@ -112,6 +128,17 @@ impl RunReport {
         self.wal_tails_truncated = report.wal_tails_truncated;
     }
 
+    /// Attach a post-run `verify` pass: what the signed manifest and the
+    /// campaign ledger say about the files the merge consumed.
+    pub fn attach_verify(&mut self, report: &VerifyReport) {
+        self.verified_files = report.count(FileVerdict::Verified);
+        self.tampered_files = report.count(FileVerdict::Tampered);
+        self.unsigned_files = report.count(FileVerdict::Unsigned);
+        self.missing_files = report.count(FileVerdict::Missing);
+        self.manifest_ok = Some(report.manifest_present && report.manifest_ok);
+        self.ledger_ok = report.ledger_ok;
+    }
+
     /// Ranks that completed every recorded superstep.
     pub fn surviving_ranks(&self) -> Vec<u32> {
         let dead: BTreeSet<u32> = self.crashed.iter().map(|c| c.rank).collect();
@@ -133,6 +160,18 @@ impl RunReport {
             && self.quarantined_files == 0
             && self.chain_breaks == 0
             && self.recovered_subgraphs >= self.expected_subgraphs
+    }
+
+    /// True when the attached verify pass vouched for the run: the manifest
+    /// signed, the ledger sealed, nothing tampered or missing. Orthogonal
+    /// to [`Self::is_complete`] — damage costs completeness but not trust,
+    /// and a tampered file can merge "cleanly" yet be untrusted. `false`
+    /// until [`Self::attach_verify`] runs.
+    pub fn is_trusted(&self) -> bool {
+        self.manifest_ok == Some(true)
+            && self.ledger_ok
+            && self.tampered_files == 0
+            && self.missing_files == 0
     }
 }
 
@@ -156,7 +195,26 @@ impl fmt::Display for RunReport {
             self.quarantined_files,
             self.chain_breaks,
             self.wal_tails_truncated,
-        )
+        )?;
+        match self.manifest_ok {
+            None => write!(f, "; trust: unverified"),
+            Some(signed) => write!(
+                f,
+                "; trust: {} — {} verified, {} tampered, {} missing, \
+                 {} unsigned, manifest {}, ledger {}",
+                if self.is_trusted() {
+                    "TRUSTED"
+                } else {
+                    "NOT TRUSTED"
+                },
+                self.verified_files,
+                self.tampered_files,
+                self.missing_files,
+                self.unsigned_files,
+                if signed { "signed" } else { "untrusted" },
+                if self.ledger_ok { "sealed" } else { "broken" },
+            ),
+        }
     }
 }
 
@@ -446,6 +504,64 @@ mod tests {
         let line = r.to_string();
         assert!(line.contains("7 replayed"), "display: {line}");
         assert!(line.contains("1 journal tails truncated"), "display: {line}");
+    }
+
+    #[test]
+    fn trust_joins_the_run_report_orthogonally_to_completeness() {
+        use crate::verify::FileCheck;
+        let check = |verdict, path: &str| FileCheck {
+            path: path.into(),
+            verdict,
+            detail: String::new(),
+        };
+        // Before any verify pass: unverified, never trusted.
+        let mut r = RunReport::new(2);
+        r.attach_merge(2, &merge_report(2, 50));
+        assert!(r.is_complete());
+        assert!(!r.is_trusted());
+        assert!(r.to_string().contains("trust: unverified"), "{r}");
+
+        // A clean signed run: complete AND trusted.
+        let mut v = VerifyReport {
+            dir: "/provio".into(),
+            run: Some(7),
+            manifest_present: true,
+            manifest_ok: true,
+            ledger_ok: true,
+            checks: vec![
+                check(FileVerdict::Verified, "/provio/prov_p0.nt"),
+                check(FileVerdict::Verified, "/provio/prov_p1.nt"),
+            ],
+        };
+        r.attach_verify(&v);
+        assert!(r.is_trusted() && r.is_complete());
+        assert_eq!(r.verified_files, 2);
+        assert!(r.to_string().contains("trust: TRUSTED"), "{r}");
+
+        // One tampered file: the merge saw nothing wrong (the forgery is
+        // internally consistent), so the run stays complete — but trust is
+        // gone, with file-level blast radius in the counters.
+        v.checks[1] = check(FileVerdict::Tampered, "/provio/prov_p1.nt");
+        r.attach_verify(&v);
+        assert!(r.is_complete(), "a CRC-patched forgery merges cleanly");
+        assert!(!r.is_trusted());
+        assert_eq!((r.verified_files, r.tampered_files), (1, 1));
+        let line = r.to_string();
+        assert!(line.contains("NOT TRUSTED") && line.contains("1 tampered"), "{line}");
+
+        // A legacy unsigned run: honest, but never trusted.
+        let legacy = VerifyReport {
+            dir: "/provio".into(),
+            run: None,
+            manifest_present: false,
+            manifest_ok: false,
+            ledger_ok: true,
+            checks: vec![check(FileVerdict::Unsigned, "/provio/prov_p0.nt")],
+        };
+        r.attach_verify(&legacy);
+        assert!(!r.is_trusted());
+        assert_eq!(r.unsigned_files, 1);
+        assert!(r.to_string().contains("manifest untrusted"), "{r}");
     }
 
     #[test]

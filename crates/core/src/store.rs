@@ -384,6 +384,13 @@ struct IoState {
     /// Append attempts that failed (records stay buffered and retry at the
     /// next group boundary, over the same offset).
     wal_failed_appends: u64,
+    /// Commit-time Merkle roots of framed files this store wrote, keyed by
+    /// path: `(committed bytes, root)`. The sealing pass consumes these so
+    /// it does not re-read and re-CRC files whose roots the encoder
+    /// already folded for the footer; the byte count guards against a file
+    /// that changed underneath the cache (it then takes the slow re-read
+    /// path). Entries for compacted-away segments are dropped with them.
+    roots: HashMap<String, (u64, [u8; 32])>,
 }
 
 fn seg_path(path: &str, seq: u64) -> String {
@@ -638,17 +645,21 @@ impl Inner {
             let st = self.state.lock();
             (st.graph.clone(), st.graph.len())
         };
-        let (bytes, chain) = match (io.checksums, io.format) {
-            (false, RdfFormat::Turtle) => {
-                (turtle::serialize(&graph, &Namespaces::standard()).into_bytes(), None)
+        let (bytes, chain, root) = match (io.checksums, io.format) {
+            (false, RdfFormat::Turtle) => (
+                turtle::serialize(&graph, &Namespaces::standard()).into_bytes(),
+                None,
+                None,
+            ),
+            (false, RdfFormat::NTriples) => {
+                (ntriples::serialize(&graph).into_bytes(), None, None)
             }
-            (false, RdfFormat::NTriples) => (ntriples::serialize(&graph).into_bytes(), None),
             // Turtle statements span lines, and splicing verified fragments
             // across a dropped batch could forge triples — a Turtle
             // snapshot is one all-or-nothing batch.
             (true, RdfFormat::Turtle) => {
                 let text = turtle::serialize(&graph, &Namespaces::standard());
-                let (framed, c) = frame::encode(
+                let (framed, c, r) = frame::encode_with_root(
                     FrameKind::Snapshot,
                     io.guid,
                     io.next_ordinal,
@@ -656,7 +667,7 @@ impl Inner {
                     &text,
                     usize::MAX,
                 );
-                (framed.into_bytes(), Some(c))
+                (framed.into_bytes(), Some(c), Some(r))
             }
             // N-Triples is line-oriented, so fine-grained batches salvage
             // safely — and the lines can be framed while still cache-hot
@@ -673,8 +684,8 @@ impl Inner {
                 for chunk in lines.chunks(NT_BATCH_LINES) {
                     enc.batch(chunk);
                 }
-                let (framed, c) = enc.finish();
-                (framed, Some(c))
+                let (framed, c, r) = enc.finish_with_root();
+                (framed, Some(c), Some(r))
             }
         };
         let (tmp, dst) = (io.tmp_path.clone(), io.path.clone());
@@ -685,12 +696,16 @@ impl Inner {
             io.last_chain = c;
             io.next_ordinal += 1;
         }
+        if let Some(r) = root {
+            io.roots.insert(dst.clone(), (bytes.len() as u64, r));
+        }
         // The snapshot holds everything the segments held: fold them away.
         // Unlink failures are harmless — a surviving segment only feeds the
         // merge duplicate triples, which collapse.
         let segs = std::mem::take(&mut io.segments);
         for seg in segs {
             let _ = io.fs.unlink(&seg);
+            io.roots.remove(&seg);
         }
         // A failed earlier append may have left the next segment's tmp.
         let _ = io.fs.unlink(&format!("{}.tmp", seg_path(&io.path, io.next_seg)));
@@ -725,7 +740,7 @@ impl Inner {
         };
         // Render off the state lock; the io lock (held by our caller)
         // already serializes flushes.
-        let (bytes, chain) = if io.checksums {
+        let (bytes, chain, root) = if io.checksums {
             // Frame the sorted lines while they are hot: no re-scan, no
             // UTF-8 revalidation, no second full-payload copy.
             let lines = ntriples::sorted_id_lines(&ids, |id| &terms[&id]);
@@ -739,13 +754,13 @@ impl Inner {
             for chunk in lines.chunks(NT_BATCH_LINES) {
                 enc.batch(chunk);
             }
-            let (framed, c) = enc.finish();
-            (framed, Some(c))
+            let (framed, c, r) = enc.finish_with_root();
+            (framed, Some(c), Some(r))
         } else {
             let mut buf = Vec::new();
             ntriples::render_ids(&ids, |id| &terms[&id], &mut buf)
                 .expect("writing to a Vec cannot fail");
-            (buf, None)
+            (buf, None, None)
         };
         let seg = seg_path(&io.path, io.next_seg);
         let tmp = format!("{seg}.tmp");
@@ -753,6 +768,9 @@ impl Inner {
             if let Some(c) = chain {
                 io.last_chain = c;
                 io.next_ordinal += 1;
+            }
+            if let Some(r) = root {
+                io.roots.insert(seg.clone(), (bytes.len() as u64, r));
             }
             io.segments.push(seg);
             io.next_seg += 1;
@@ -928,6 +946,7 @@ impl ProvenanceStore {
             wal_commits: 0,
             wal_recycles: 0,
             wal_failed_appends: 0,
+            roots: HashMap::new(),
         };
         ProvenanceStore {
             inner: Arc::new(Inner {
@@ -1019,6 +1038,12 @@ impl ProvenanceStore {
     /// The store file's path on the parallel file system.
     pub fn path(&self) -> &str {
         &self.path
+    }
+
+    /// The file system the store writes to — what run-level tooling (the
+    /// manifest writer, `verify`) walks after the ranks finish.
+    pub fn fs(&self) -> &Arc<FileSystem> {
+        &self.fs
     }
 
     /// Hand a batch of triples to the store.
@@ -1186,6 +1211,19 @@ impl ProvenanceStore {
     /// window, never more than one group unless appends are failing.
     pub fn wal_buffered(&self) -> u64 {
         self.inner.io.lock().wal_buf.iter().map(|c| c.n).sum()
+    }
+
+    /// Commit-time Merkle roots of the framed files this store currently
+    /// has on disk, as `(path, committed bytes, root)`. The sealing pass
+    /// ([`crate::verify::seal_run_with_roots`]) uses these to sign a run
+    /// without re-reading the store's own commits; files that changed
+    /// since (byte count mismatch) fall back to a full re-read there.
+    pub fn committed_roots(&self) -> Vec<(String, u64, [u8; 32])> {
+        let io = self.inner.io.lock();
+        io.roots
+            .iter()
+            .map(|(p, &(n, r))| (p.clone(), n, r))
+            .collect()
     }
 }
 

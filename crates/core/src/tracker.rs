@@ -609,6 +609,15 @@ impl TrackerRegistry {
     /// Finish every registered tracker, returning per-pid summaries.
     /// Idempotent, because [`ProvTracker::finish`] is: a second sweep
     /// returns the same cached summaries.
+    ///
+    /// With the `manifest` knob armed, the run is then *sealed*: a signed
+    /// manifest of every committed file's content root is committed to the
+    /// store directory and its digest chained into the campaign ledger
+    /// (see [`crate::verify`]). Sealing is idempotent too — a second
+    /// sweep re-signs byte-identical bytes and the ledger skips the
+    /// duplicate digest. Ranks that crashed before this sweep still have
+    /// their surviving files signed: the manifest walks the directory, not
+    /// the registry.
     pub fn finish_all(&self) -> Vec<(u32, TrackSummary)> {
         let trackers: Vec<(u32, Arc<ProvTracker>)> = {
             let map = self.trackers.lock();
@@ -619,6 +628,42 @@ impl TrackerRegistry {
             .map(|(pid, t)| (pid, t.finish()))
             .collect();
         out.sort_by_key(|(pid, _)| *pid);
+        let (signer, roots) = {
+            let map = self.trackers.lock();
+            let signer = map.values().find(|t| t.config.manifest).cloned();
+            // Every surviving store's commit-time roots, so the seal can
+            // skip re-reading files the run itself just wrote. Crashed
+            // ranks' files simply miss the cache and are read back.
+            let mut roots = crate::verify::RootCache::new();
+            if signer.is_some() {
+                for t in map.values() {
+                    for (path, n, root) in t.store.committed_roots() {
+                        roots.insert(path, (n, root));
+                    }
+                }
+            }
+            (signer, roots)
+        };
+        if let Some(t) = signer {
+            let ranks: Vec<crate::verify::RankEntry> = out
+                .iter()
+                .map(|(pid, s)| crate::verify::RankEntry {
+                    pid: *pid,
+                    degraded: s.degraded,
+                    triples: s.triples,
+                })
+                .collect();
+            // A failed seal degrades trust, not the run: the summaries and
+            // the data files stand either way, and `verify` will report
+            // the directory unsigned or unsealed.
+            let _ = crate::verify::seal_run_with_roots(
+                t.store.fs(),
+                t.config.store_dir.trim_end_matches('/'),
+                &t.config.manifest_key,
+                &ranks,
+                &roots,
+            );
+        }
         out
     }
 }

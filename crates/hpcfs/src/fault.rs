@@ -119,6 +119,244 @@ impl CorruptKind {
     }
 }
 
+/// The shape of an *adversarial* at-rest mutation. Unlike [`CorruptKind`]
+/// — rot, which damages bytes blindly and trips CRCs — these are
+/// format-aware: the adversary has read the `PROVIO1` frame layout and
+/// patches every internal check (batch CRC, footer Merkle root) so the
+/// mutated file stays internally consistent and the merge accepts it
+/// without complaint. Only a signed run manifest, anchored in a key the
+/// adversary does not hold, can tell the difference — which is exactly the
+/// threat model `provio verify` exists for. The frame knowledge is
+/// deliberately reimplemented here rather than imported: the fault layer
+/// plays the adversary, not the library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperKind {
+    /// Flip one payload byte inside a randomly-chosen batch, then
+    /// recompute and patch that batch's `crc=` and the footer `root=`.
+    /// Every frame check passes; the content is a lie.
+    CrcPatchedRewrite,
+    /// Replace a whole batch body with forged triples (same line count),
+    /// patching `crc=` and `root=` the same way.
+    FileSubstitution,
+    /// Flip one hex digit of a signed `root=` inside a run manifest,
+    /// leaving its HMAC stale.
+    ManifestEdit,
+    /// Cut the campaign ledger's tail: either cleanly at the last chunk
+    /// boundary (the last sealed run silently vanishes) or mid-chunk (a
+    /// torn tail indistinguishable from a crashed append).
+    LedgerTruncate,
+}
+
+/// One `PROVIO1` frame pulled apart for re-forging: header and footer
+/// fields kept verbatim, batch bodies editable.
+struct FrameScan {
+    header: String,
+    /// `(lines= field, body including trailing newlines)` per batch.
+    batches: Vec<(usize, String)>,
+    footer_batches: String,
+    footer_chain: String,
+}
+
+fn scan_frame(text: &str) -> Option<FrameScan> {
+    if !text.starts_with("# PROVIO1") {
+        return None;
+    }
+    let mut lines = text.split_inclusive('\n');
+    let header = lines.next()?.trim_end_matches('\n').to_string();
+    let mut batches: Vec<(usize, String)> = Vec::new();
+    let mut current: Option<(usize, String)> = None;
+    let mut footer = None;
+    for line in lines {
+        let trimmed = line.trim_end_matches('\n');
+        if let Some(rest) = trimmed.strip_prefix("#~B ") {
+            if let Some(done) = current.take() {
+                batches.push(done);
+            }
+            let n = rest
+                .split(' ')
+                .find_map(|t| t.strip_prefix("lines="))
+                .and_then(|v| v.parse().ok())?;
+            current = Some((n, String::new()));
+        } else if let Some(rest) = trimmed.strip_prefix("#~F ") {
+            if let Some(done) = current.take() {
+                batches.push(done);
+            }
+            let field = |k: &str| {
+                rest.split(' ')
+                    .find_map(|t| t.strip_prefix(k))
+                    .map(str::to_string)
+            };
+            footer = Some((field("batches=")?, field("chain=")?));
+            break;
+        } else if let Some((_, body)) = &mut current {
+            body.push_str(line);
+        } else {
+            return None; // payload before any batch marker
+        }
+    }
+    let (footer_batches, footer_chain) = footer?;
+    Some(FrameScan {
+        header,
+        batches,
+        footer_batches,
+        footer_chain,
+    })
+}
+
+/// The frame layer's Merkle fold, as the adversary reimplements it:
+/// leaves are SHA-256 of each batch CRC's big-endian bytes, interior nodes
+/// hash child concatenations, odd nodes promote, zero leaves root at
+/// SHA-256 of the empty string.
+fn forged_root(leaves: &[u32]) -> [u8; 32] {
+    let mut level: Vec<[u8; 32]> = leaves
+        .iter()
+        .map(|crc| sha2::sha256(&crc.to_be_bytes()))
+        .collect();
+    if level.is_empty() {
+        return sha2::sha256(b"");
+    }
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if let [left, right] = pair {
+                let mut h = sha2::Sha256::new();
+                h.update(left);
+                h.update(right);
+                next.push(h.finalize());
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// Re-forge a frame around mutated batch bodies: every `crc=` recomputed,
+/// the footer `root=` patched to the forged leaves. Returns the rebuilt
+/// text's length, or 0 if the bytes are not a single forgeable frame.
+fn rewrite_frame(data: &mut Vec<u8>, rng: &mut DetRng, substitute: bool) -> u64 {
+    use std::fmt::Write as _;
+    let Ok(text) = std::str::from_utf8(data) else {
+        return 0;
+    };
+    let Some(mut scan) = scan_frame(text) else {
+        return 0;
+    };
+    if scan.batches.is_empty() {
+        return 0;
+    }
+    let idx = rng.below(scan.batches.len() as u64) as usize;
+    if substitute {
+        let lines = scan.batches[idx].1.lines().count().max(1);
+        let mut forged = String::new();
+        for i in 0..lines {
+            let _ = writeln!(forged, "<urn:forged> <urn:prop> <urn:forged{i}> .");
+        }
+        scan.batches[idx].1 = forged;
+    } else {
+        let mut body = std::mem::take(&mut scan.batches[idx].1).into_bytes();
+        let spots: Vec<usize> = body
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_ascii_alphanumeric())
+            .map(|(i, _)| i)
+            .collect();
+        if spots.is_empty() {
+            return 0;
+        }
+        let at = spots[rng.below(spots.len() as u64) as usize];
+        body[at] = if body[at] == b'x' { b'y' } else { b'x' };
+        scan.batches[idx].1 = String::from_utf8(body).expect("ascii swap");
+    }
+    let mut out = String::with_capacity(text.len() + 16);
+    out.push_str(&scan.header);
+    out.push('\n');
+    let mut leaves = Vec::with_capacity(scan.batches.len());
+    for (lines, body) in &scan.batches {
+        let crc = crc32fast::hash(body.as_bytes());
+        leaves.push(crc);
+        let _ = writeln!(out, "#~B lines={lines} crc={crc:08x}");
+        out.push_str(body);
+    }
+    let _ = writeln!(
+        out,
+        "#~F batches={} chain={} root={}",
+        scan.footer_batches,
+        scan.footer_chain,
+        sha2::hex(&forged_root(&leaves))
+    );
+    let n = out.len() as u64;
+    *data = out.into_bytes();
+    n
+}
+
+fn manifest_edit(data: &mut [u8], rng: &mut DetRng) -> u64 {
+    let Ok(text) = std::str::from_utf8(data) else {
+        return 0;
+    };
+    if !text.starts_with("# PROVIO-MANIFEST1") {
+        return 0;
+    }
+    let mut targets: Vec<usize> = Vec::new();
+    let mut off = 0usize;
+    for line in text.split_inclusive('\n') {
+        if line.starts_with("file ") {
+            if let Some(p) = line.find("root=") {
+                targets.push(off + p + "root=".len());
+            }
+        }
+        off += line.len();
+    }
+    if targets.is_empty() {
+        return 0;
+    }
+    let base = targets[rng.below(targets.len() as u64) as usize];
+    let digit = base + rng.below(64) as usize;
+    data[digit] = if data[digit] == b'0' { b'1' } else { b'0' };
+    1
+}
+
+fn ledger_truncate(data: &mut Vec<u8>, rng: &mut DetRng) -> u64 {
+    let Ok(text) = std::str::from_utf8(data) else {
+        return 0;
+    };
+    let mut starts: Vec<usize> = Vec::new();
+    let mut off = 0usize;
+    for line in text.split_inclusive('\n') {
+        if line.starts_with("# PROVIO1") {
+            starts.push(off);
+        }
+        off += line.len();
+    }
+    let Some(&last) = starts.last() else {
+        return 0;
+    };
+    let cut = if rng.below(2) == 0 {
+        last // clean cut at the chunk boundary
+    } else {
+        last + 1 + rng.below((data.len() - last - 1).max(1) as u64) as usize
+    };
+    let removed = (data.len() - cut) as u64;
+    data.truncate(cut);
+    removed
+}
+
+impl TamperKind {
+    /// Apply this mutation to `data` in place, drawing choices from `rng`.
+    /// Returns the number of bytes affected — 0 means the bytes were not a
+    /// valid target (e.g. a frame rewrite aimed at an unframed file), in
+    /// which case `data` is unchanged: tamper is surgical, never noisy.
+    pub fn apply(&self, data: &mut Vec<u8>, rng: &mut DetRng) -> u64 {
+        match self {
+            TamperKind::CrcPatchedRewrite => rewrite_frame(data, rng, false),
+            TamperKind::FileSubstitution => rewrite_frame(data, rng, true),
+            TamperKind::ManifestEdit => manifest_edit(data, rng),
+            TamperKind::LedgerTruncate => ledger_truncate(data, rng),
+        }
+    }
+}
+
 /// One armed fault: operation selector, path filter, scheduling, action.
 #[derive(Debug, Clone)]
 pub struct FaultRule {

@@ -8,7 +8,7 @@
 
 use crate::content::FileContent;
 use crate::error::{FsError, FsResult};
-use crate::fault::{CorruptKind, FaultAction, FaultOp, FaultPlan};
+use crate::fault::{CorruptKind, FaultAction, FaultOp, FaultPlan, TamperKind};
 use crate::lustre::LustreConfig;
 use parking_lot::{Mutex, RwLock};
 use provio_simrt::{DetRng, SimDuration, SimTime, VirtualClock};
@@ -22,6 +22,11 @@ const SYMLINK_LIMIT: usize = 40;
 /// RNG stream for [`FileSystem::corrupt_at_rest`], distinct from the fault
 /// plan's own stream so rest-time damage never perturbs scheduled faults.
 const REST_CORRUPTION_STREAM: u64 = 0xB172;
+
+/// Stream id for [`FileSystem::tamper_at_rest`] draws, separate from the
+/// rot stream so a tamper schedule never perturbs a corruption schedule
+/// under the same seed.
+const REST_TAMPER_STREAM: u64 = 0x7A3F;
 
 /// What kind of object an inode is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -769,6 +774,30 @@ impl FileSystem {
         let affected = kind.apply(&mut data, &mut rng);
         file.truncate(0);
         file.write(0, &data);
+        Ok(affected)
+    }
+
+    /// Adversarially mutate the committed bytes of `path` in place — the
+    /// tamper counterpart of [`Self::corrupt_at_rest`]: no armed rule, no
+    /// mtime/ctime change, no error for the next reader. The mutation is
+    /// format-aware (see [`TamperKind`]) and seeded, so a tamper schedule
+    /// replays bit-for-bit. Returns bytes affected; 0 means the file was
+    /// not a valid target for this mutation and was left untouched.
+    pub fn tamper_at_rest(&self, path: &str, kind: &TamperKind, seed: u64) -> FsResult<u64> {
+        let mut inner = self.inner.write();
+        let ino = Self::resolve_in(&inner, path, true)?;
+        let file = inner
+            .inodes
+            .get_mut(&ino)
+            .ok_or(FsError::NotFound)?
+            .as_file_mut()?;
+        let mut data = file.to_vec();
+        let mut rng = DetRng::with_stream(seed, REST_TAMPER_STREAM);
+        let affected = kind.apply(&mut data, &mut rng);
+        if affected > 0 {
+            file.truncate(0);
+            file.write(0, &data);
+        }
         Ok(affected)
     }
 

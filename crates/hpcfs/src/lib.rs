@@ -31,7 +31,7 @@ pub mod syscall;
 
 pub use content::FileContent;
 pub use error::{FsError, FsResult};
-pub use fault::{CorruptKind, FaultAction, FaultOp, FaultPlan, FaultRule};
+pub use fault::{CorruptKind, FaultAction, FaultOp, FaultPlan, FaultRule, TamperKind};
 pub use fs::{FileKind, FileSystem, Ino, Metadata};
 pub use lustre::LustreConfig;
 pub use session::{Fd, FsSession, OpenFlags, Whence};

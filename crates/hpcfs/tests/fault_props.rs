@@ -220,6 +220,128 @@ mod bit_rot_integrity {
     }
 }
 
+/// Adversarial counterpart to `bit_rot_integrity`: the same store is
+/// *sealed* (signed manifest + campaign ledger), and the mutations are
+/// format-aware forgeries instead of blind rot. The property is the
+/// tamper-evidence contract: any single seeded mutation anywhere in the
+/// run directory is either detected by `verify` or provably harmless
+/// (`affected == 0`, bytes untouched) — and a clean sealed run never
+/// yields a false positive.
+mod tamper_trust {
+    use super::*;
+    use provio::verify::seal_run;
+    use provio::{verify_directory, FileVerdict, ProvenanceStore, RdfFormat};
+    use provio_hpcfs::TamperKind;
+
+    const KEY: &str = "prop-campaign-key";
+
+    fn build_sealed_run(fs: &Arc<FileSystem>) {
+        let st = ProvenanceStore::new(
+            Arc::clone(fs),
+            "/prov/prov_p0.nt".to_string(),
+            RdfFormat::NTriples,
+            false,
+        )
+        .with_checksums(true)
+        .with_delta(true, 0);
+        for flush in 0..3 {
+            st.push(
+                (flush * 16..flush * 16 + 16)
+                    .map(|i| {
+                        provio_rdf::Triple::new(
+                            provio_rdf::Subject::iri(format!("urn:s{i}")),
+                            provio_rdf::Iri::new("urn:p"),
+                            provio_rdf::Term::iri("urn:o"),
+                        )
+                    })
+                    .collect(),
+                None,
+            );
+            st.flush(None);
+        }
+        seal_run(fs, "/prov", KEY, &[]).unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Any single tamper mutation — against any file in the run
+        /// directory, store files and trust artifacts alike — is detected
+        /// or provably harmless, with zero false positives and a verdict
+        /// that is stable under re-verify.
+        #[test]
+        fn any_single_tamper_is_detected_or_provably_harmless(
+            seed in any::<u64>(),
+            kind_pick in 0u8..4,
+            file_pick in any::<prop::sample::Index>(),
+        ) {
+            let fs = FileSystem::new(LustreConfig::default());
+            build_sealed_run(&fs);
+            let clean = verify_directory(&fs, "/prov", KEY);
+            prop_assert!(clean.is_trusted(), "false positive on a clean run: {}", clean);
+
+            // The adversary may aim any mutation at any file; kinds that
+            // find no valid target there must leave the bytes untouched.
+            let files = fs.walk_files("/prov").unwrap();
+            let victim = files[file_pick.index(files.len())].clone();
+            let kind = [
+                TamperKind::CrcPatchedRewrite,
+                TamperKind::FileSubstitution,
+                TamperKind::ManifestEdit,
+                TamperKind::LedgerTruncate,
+            ][kind_pick as usize];
+            let affected = fs.tamper_at_rest(&victim, &kind, seed).unwrap();
+
+            let report = verify_directory(&fs, "/prov", KEY);
+            if affected == 0 {
+                prop_assert!(
+                    report.is_trusted(),
+                    "a no-op mutation must not change the verdict \
+                     (kind {:?}, victim {}, seed {}): {}",
+                    kind, victim, seed, report
+                );
+            } else {
+                // Detected: either the trust tier condemns the run, or the
+                // mutation degenerated to rot (e.g. a truncation aimed at
+                // a store file) and the CRC tier accounts it as damage —
+                // visible either way, never a silent pass.
+                let visible = !report.is_trusted()
+                    || report.count(FileVerdict::Damaged) > 0
+                    || report.count(FileVerdict::Missing) > 0;
+                prop_assert!(
+                    visible,
+                    "undetected tamper (kind {:?}, victim {}, seed {}): {}",
+                    kind, victim, seed, report
+                );
+                // Blast radius: every Tampered row names the mutated file
+                // (an edited manifest additionally demotes store rows to
+                // Unsigned — unjudgeable, not misattributed).
+                for c in &report.checks {
+                    if c.verdict == FileVerdict::Tampered {
+                        prop_assert_eq!(
+                            c.path.as_str(), victim.as_str(),
+                            "misattributed blast radius (kind {:?}, seed {})",
+                            kind, seed
+                        );
+                    }
+                }
+                if matches!(
+                    kind,
+                    TamperKind::CrcPatchedRewrite | TamperKind::FileSubstitution
+                ) {
+                    // The CRC-patched kinds never masquerade as rot: every
+                    // frame check passes, only the signed root disagrees.
+                    prop_assert!(!report.is_trusted(), "{}", report);
+                    prop_assert_eq!(report.count(FileVerdict::Damaged), 0, "{}", report);
+                }
+            }
+            // Verifying is read-only, so the verdict is reproducible.
+            let again = verify_directory(&fs, "/prov", KEY);
+            prop_assert_eq!(report.to_string(), again.to_string());
+        }
+    }
+}
+
 #[test]
 fn transient_rule_recovers_after_n_failures() {
     let fs = FileSystem::new(LustreConfig::default());

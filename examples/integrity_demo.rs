@@ -13,7 +13,8 @@ fn main() {
     let cluster = Cluster::new();
     let cfg = ProvIoConfig::from_ini(
         "[provio]\nformat = ntriples\npolicy = every:2\nasync = false\n\
-         [store]\nchecksum_format = true\n",
+         [store]\nchecksum_format = true\n\
+         manifest = true\nmanifest_key = integrity-demo-key\n",
     )
     .expect("valid config")
     .shared();
@@ -101,4 +102,17 @@ fn main() {
     assert_eq!(again.len(), graph.len());
     assert!(rerun.quarantined.is_empty());
     println!("re-merge: quarantine held, {} triples unchanged", again.len());
+
+    // ---- Trust: the signed manifest judges what the CRCs already found --
+    // The run was sealed at finish_all (manifest = true above). The torn
+    // segment re-verifies from its quarantined copy as Damaged — rot costs
+    // completeness, not trust — while the zero-filled store no longer even
+    // looks framed, which the manifest can only read as replacement.
+    let verdict = verify_directory(&cluster.fs, "/provio", "integrity-demo-key");
+    println!("{verdict}");
+    assert!(verdict.manifest_ok, "the seal itself is intact");
+    assert!(verdict.count(FileVerdict::Damaged) >= 1, "torn segment");
+    assert!(!verdict.is_trusted());
+    report.attach_verify(&verdict);
+    println!("run report with trust: {report}");
 }

@@ -1,0 +1,112 @@
+//! Tamper-evident provenance, end to end: a sealed multi-rank run, an
+//! adversary who rewrites a committed store file and patches every CRC so
+//! the merge still accepts it — and the signed manifest catching the
+//! forgery anyway, because the Merkle root it signed cannot be patched
+//! without the key.
+//!
+//! Run with `cargo run --release --example verify_demo`.
+
+use prov_io::prelude::*;
+
+const KEY: &str = "campaign-2026-key";
+
+fn main() {
+    // ---- A sealed run ---------------------------------------------------
+    // `manifest = true` makes finish_all sign the run directory and chain
+    // the manifest into the campaign ledger.
+    let cluster = Cluster::new();
+    let cfg = ProvIoConfig::from_ini(&format!(
+        "[provio]\nformat = ntriples\npolicy = every:2\nasync = false\n\
+         [store]\nchecksum_format = true\n\
+         manifest = true\nmanifest_key = {KEY}\n"
+    ))
+    .expect("valid config")
+    .shared();
+    let world = MpiWorld::new(3);
+    let outcomes = world.superstep_named("produce", |ctx| {
+        let (_s, h5) = cluster.process(
+            900 + ctx.rank,
+            "alice",
+            "verify-demo",
+            ctx.clock().clone(),
+            Some(&cfg),
+        );
+        for i in 0..4 {
+            let f = h5
+                .create_file(&format!("/out_r{}_{i}.h5", ctx.rank))
+                .unwrap();
+            h5.close_file(f).unwrap();
+        }
+    });
+    assert!(outcomes.iter().all(|o| o.is_completed()));
+    cluster.registry.finish_all();
+    let fs = &cluster.fs;
+    assert!(fs.exists("/provio/MANIFEST.provio"));
+    assert!(fs.exists("/provio/CAMPAIGN.provio"));
+
+    let clean = verify_directory(fs, "/provio", KEY);
+    println!("{clean}");
+    assert!(clean.is_trusted(), "a clean sealed run verifies");
+
+    // ---- The adversary --------------------------------------------------
+    // Replace a whole batch of rank 901's store with forged triples, then
+    // recompute the batch CRC and the footer root so every frame-level
+    // check still passes. This is exactly what bit rot cannot do — and
+    // exactly what the rot-tier checksums cannot see.
+    let target = "/provio/prov_p901.nt";
+    let affected = fs
+        .tamper_at_rest(target, &TamperKind::FileSubstitution, 99)
+        .unwrap();
+    assert!(affected > 0, "the forgery landed");
+    println!("forged {affected} line(s) in {target}, CRCs and root repatched");
+
+    // The merge is CRC-blind to it: the forged triples go straight into
+    // the merged graph with no complaint. This is the gap verify closes.
+    let (forged_graph, mrep) = merge_directory(fs, "/provio");
+    assert!(mrep.corrupt.is_empty() && mrep.quarantined.is_empty());
+    let forged_in = forged_graph
+        .iter()
+        .filter(|t| t.to_string().contains("urn:forged"))
+        .count();
+    assert!(forged_in > 0);
+    println!("merge accepted the forgery: {forged_in} forged triple(s) merged silently");
+
+    // ---- Verification ---------------------------------------------------
+    // The manifest signed the original Merkle root; the patched root no
+    // longer matches, and nobody without the key can fix that.
+    let verdict = verify_directory(fs, "/provio", KEY);
+    println!("{verdict}");
+    assert!(!verdict.is_trusted());
+    assert_eq!(verdict.count(FileVerdict::Tampered), 1, "file-level blast radius");
+    assert_eq!(verdict.count(FileVerdict::Damaged), 0, "not rot: every CRC passes");
+
+    // ---- Quarantine and recovery ----------------------------------------
+    let renamed = quarantine_tampered(fs, &verdict);
+    println!("quarantined: {renamed:?}");
+    assert_eq!(renamed, vec![target.to_string()]);
+    let (recovered, _) = merge_directory(fs, "/provio");
+    assert!(
+        !recovered.iter().any(|t| t.to_string().contains("urn:forged")),
+        "the quarantined forgery stays out of the merge"
+    );
+    println!(
+        "re-merge without the forgery: {} triples (was {})",
+        recovered.len(),
+        forged_graph.len()
+    );
+
+    // Sticky verdict: the quarantined copy re-verifies Tampered, and a
+    // second quarantine pass has nothing left to rename.
+    let again = verify_directory(fs, "/provio", KEY);
+    assert_eq!(again.count(FileVerdict::Tampered), 1);
+    assert!(quarantine_tampered(fs, &again).is_empty());
+    println!("re-verify: verdict sticky, quarantine idempotent");
+
+    // Trust joins completeness in the run report.
+    let mut report = RunReport::new(3);
+    report.record_outcomes(&outcomes);
+    report.attach_merge(mrep.files, &mrep);
+    report.attach_verify(&again);
+    println!("run report: {report}");
+    assert!(!report.is_trusted());
+}

@@ -27,6 +27,8 @@ fn run(wal: bool) -> (usize, RunReport) {
             backoff_ns: 0,
         })
         .with_wal(wal, 8)
+        .with_manifest(true)
+        .with_manifest_key("wal-demo-key")
         .shared();
 
     let world = MpiWorld::new(4);
@@ -58,6 +60,12 @@ fn run(wal: bool) -> (usize, RunReport) {
 
     let (graph, mrep) = merge_directory(&cluster.fs, "/provio");
     report.attach_merge(report.surviving_ranks().len(), &mrep);
+    // The run was sealed at finish_all: the crashed rank's surviving
+    // journal generations are signed too, so replayed provenance is
+    // trusted provenance.
+    let verdict = verify_directory(&cluster.fs, "/provio", "wal-demo-key");
+    assert!(verdict.is_trusted(), "clean run, journals and all: {verdict}");
+    report.attach_verify(&verdict);
     let engine = ProvQueryEngine::new(graph);
     let recovered = (0..2)
         .map(|p| {

@@ -67,14 +67,15 @@ pub use provio_workflows as workflows;
 pub mod prelude {
     pub use provio::engine::{to_dot, IoStats};
     pub use provio::{
-        doctor, merge_directory, BreakerState, DoctorReport, OverloadPolicy, ProvIoApi,
-        ProvIoConfig, ProvIoVol, ProvQueryEngine, ProvenanceStore, RankCrash, RetryPolicy,
-        RunReport, SerializationPolicy, TrackerRegistry,
+        doctor, merge_directory, quarantine_tampered, verify_directory, BreakerState,
+        DoctorReport, FileCheck, FileVerdict, OverloadPolicy, ProvIoApi, ProvIoConfig,
+        ProvIoVol, ProvQueryEngine, ProvenanceStore, RankCrash, RetryPolicy, RunReport,
+        SerializationPolicy, TrackerRegistry, VerifyReport,
     };
     pub use provio_hdf5::{Data, Dataspace, Datatype, Hyperslab, H5};
     pub use provio_hpcfs::{
         CorruptKind, FaultOp, FaultPlan, FaultRule, FileSystem, FsSession, LustreConfig,
-        OpenFlags,
+        OpenFlags, TamperKind,
     };
     pub use provio_model::{
         ActivityClass, AgentClass, ClassSelector, EntityClass, ExtensibleClass, Relation,

@@ -1,0 +1,328 @@
+//! End-to-end trust: a multi-rank workflow finishes under `manifest =
+//! true`, so `finish_all` seals the run — a signed `MANIFEST.provio` plus
+//! a `CAMPAIGN.provio` ledger entry. An adversary then mutates the
+//! committed bytes with format-aware tampering (CRC-patched rewrites,
+//! batch substitution, manifest edits, ledger truncation), and
+//! [`verify_directory`] must report every applied mutation with file-level
+//! blast radius, zero false positives on the untouched run, and the same
+//! verdict on re-verify. Legacy (pre-manifest) directories keep merging
+//! and come back `Unsigned`, never an error.
+
+use prov_io::prelude::*;
+use prov_io::rdf::ntriples;
+use prov_io::simrt::DetRng;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const KEY: &str = "trust-suite-key";
+const MANIFEST: &str = "/provio/MANIFEST.provio";
+const LEDGER: &str = "/provio/CAMPAIGN.provio";
+
+/// Run a `world_size`-rank workflow writing checksummed N-Triples stores.
+/// With `manifest`, `finish_all` also seals the run. Ranks in `killed`
+/// crash before their final flush — their files still end up in the
+/// manifest, because the sealer walks the directory, not the registry.
+fn run_world(world_size: u32, killed: &[u32], manifest: bool) -> Cluster {
+    let cluster = Cluster::new();
+    let trust_knobs = if manifest {
+        format!("manifest = true\nmanifest_key = {KEY}\n")
+    } else {
+        String::new()
+    };
+    let cfg = ProvIoConfig::from_ini(&format!(
+        "[provio]\n\
+         format = ntriples\n\
+         policy = every:2\n\
+         async = false\n\
+         [store]\n\
+         checksum_format = true\n\
+         {trust_knobs}"
+    ))
+    .unwrap()
+    .shared();
+    let world = MpiWorld::new(world_size);
+    let outcomes = world.superstep_named("produce", |ctx| {
+        let pid = 500 + ctx.rank;
+        let (_s, h5) = cluster.process(pid, "alice", "trust", ctx.clock().clone(), Some(&cfg));
+        for i in 0..6 {
+            let f = h5
+                .create_file(&format!("/data_r{}_{i}.h5", ctx.rank))
+                .unwrap();
+            h5.close_file(f).unwrap();
+        }
+    });
+    assert!(outcomes.iter().all(|o| o.is_completed()));
+    for &rank in killed {
+        if let Some(t) = cluster.registry.unregister(500 + rank) {
+            std::mem::forget(t); // killed process: no Drop, no final flush
+        }
+    }
+    cluster.registry.finish_all();
+    cluster
+}
+
+fn lines(g: &prov_io::rdf::Graph) -> BTreeSet<String> {
+    ntriples::serialize(g).lines().map(str::to_string).collect()
+}
+
+/// Store files on disk — what the manifest signs: no trust artifacts, no
+/// tmp droppings, no quarantine copies.
+fn store_files(fs: &Arc<FileSystem>) -> Vec<String> {
+    let mut files: Vec<String> = fs
+        .walk_files("/provio")
+        .unwrap()
+        .into_iter()
+        .filter(|p| {
+            !p.ends_with(".tmp")
+                && !p.ends_with(".quarantine")
+                && !p.ends_with("MANIFEST.provio")
+                && !p.ends_with("CAMPAIGN.provio")
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn sealed_run_is_trusted_files_of_crashed_ranks_included() {
+    // Rank 2 crashes before its final flush; its surviving segments must
+    // still be signed — the manifest covers the directory, not the ranks
+    // that happened to exit cleanly.
+    let cluster = run_world(4, &[2], true);
+    let fs = &cluster.fs;
+
+    assert!(fs.exists(MANIFEST), "finish_all sealed the run");
+    assert!(fs.exists(LEDGER), "finish_all appended the campaign ledger");
+
+    let report = verify_directory(fs, "/provio", KEY);
+    assert!(report.is_trusted(), "clean sealed run: {report}");
+    assert!(report.manifest_present && report.manifest_ok && report.ledger_ok);
+    let files = store_files(fs);
+    assert_eq!(
+        report.count(FileVerdict::Verified),
+        files.len(),
+        "every store file verifies, including the crashed rank's: {report}"
+    );
+    assert_eq!(report.checks.len(), files.len(), "no spurious rows");
+    assert!(
+        files.iter().any(|f| f.contains("prov_p502.nt.d")),
+        "crashed rank left segments and they are signed: {files:?}"
+    );
+
+    // Re-verify is idempotent — verifying changes nothing on disk.
+    let again = verify_directory(fs, "/provio", KEY);
+    assert_eq!(report.to_string(), again.to_string());
+
+    // The merge is oblivious to the trust artifacts: same triples, no
+    // complaints, manifest and ledger never enter the graph.
+    let (graph, mrep) = merge_directory(fs, "/provio");
+    assert!(mrep.corrupt.is_empty() && mrep.quarantined.is_empty());
+    assert_eq!(mrep.files, files.len());
+    assert!(
+        !lines(&graph).iter().any(|l| l.contains("MANIFEST")),
+        "trust artifacts stay out of the merged graph"
+    );
+
+    // Trust joins the run report next to completeness.
+    let mut run = RunReport::new(4);
+    run.attach_merge(mrep.files, &mrep);
+    run.attach_verify(&report);
+    assert!(run.is_trusted());
+    assert!(run.to_string().contains("trust: TRUSTED"), "{run}");
+}
+
+/// Seeded adversarial sweep, parameterized by environment for the CI
+/// matrix: `PROVIO_TAMPER_SEED`, `PROVIO_TAMPER_KIND`
+/// (`crc` | `substitute` | `manifest` | `ledger` | `all`),
+/// `PROVIO_TAMPER_MANIFEST` (`on` | `off` — `off` is the unsigned
+/// ablation). Every applied mutation must flip the run to NOT TRUSTED
+/// with blast radius confined to the mutated file; a mutation that found
+/// no target (`affected == 0`) must leave the verdict untouched.
+#[test]
+fn seeded_tamper_sweep_every_mutation_is_detected() {
+    let seed: u64 = std::env::var("PROVIO_TAMPER_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+    let kind_sel = std::env::var("PROVIO_TAMPER_KIND").unwrap_or_else(|_| "all".into());
+    let signed = std::env::var("PROVIO_TAMPER_MANIFEST").as_deref() != Ok("off");
+
+    let kinds: Vec<(&str, TamperKind)> = [
+        ("crc", TamperKind::CrcPatchedRewrite),
+        ("substitute", TamperKind::FileSubstitution),
+        ("manifest", TamperKind::ManifestEdit),
+        ("ledger", TamperKind::LedgerTruncate),
+    ]
+    .into_iter()
+    .filter(|(name, _)| kind_sel == "all" || kind_sel == *name)
+    // The unsigned ablation has no manifest or ledger to attack.
+    .filter(|(name, _)| signed || (*name != "manifest" && *name != "ledger"))
+    .collect();
+    assert!(!kinds.is_empty(), "unknown PROVIO_TAMPER_KIND: {kind_sel}");
+
+    for (name, kind) in kinds {
+        let cluster = run_world(3, &[], signed);
+        let fs = &cluster.fs;
+        let files = store_files(fs);
+        let mut rng = DetRng::new(seed);
+        let target = match kind {
+            TamperKind::ManifestEdit => MANIFEST.to_string(),
+            TamperKind::LedgerTruncate => LEDGER.to_string(),
+            _ => files[rng.below(files.len() as u64) as usize].clone(),
+        };
+        let affected = fs.tamper_at_rest(&target, &kind, seed).unwrap();
+        let report = verify_directory(fs, "/provio", KEY);
+
+        if !signed {
+            // Ablation: without a manifest there is nothing to judge —
+            // the CRC-patched forgery merges silently. That asymmetry is
+            // the tentpole's whole argument.
+            assert!(!report.manifest_present);
+            assert!(report.ledger_ok, "no ledger to break");
+            assert_eq!(report.count(FileVerdict::Tampered), 0);
+            assert_eq!(report.count(FileVerdict::Unsigned), report.checks.len());
+            let (_, mrep) = merge_directory(fs, "/provio");
+            assert!(
+                !mrep.corrupt.contains(&target) && !mrep.quarantined.contains(&target),
+                "tamper={name} seed={seed}: a patched rewrite passes every CRC"
+            );
+            continue;
+        }
+
+        if affected == 0 {
+            // Provably harmless: the mutation found no valid target and
+            // changed nothing, so trust must be intact.
+            assert!(report.is_trusted(), "tamper={name} seed={seed}: {report}");
+            continue;
+        }
+        assert!(
+            !report.is_trusted(),
+            "tamper={name} seed={seed} went undetected: {report}"
+        );
+
+        match kind {
+            TamperKind::CrcPatchedRewrite | TamperKind::FileSubstitution => {
+                // Blast radius: exactly the mutated file, and it is
+                // Tampered, not Damaged — every CRC still passes.
+                assert_eq!(report.count(FileVerdict::Tampered), 1, "{report}");
+                assert_eq!(report.count(FileVerdict::Damaged), 0, "{report}");
+                assert_eq!(report.count(FileVerdict::Verified), files.len() - 1);
+                let hit: Vec<&str> = report
+                    .checks
+                    .iter()
+                    .filter(|c| c.verdict == FileVerdict::Tampered)
+                    .map(|c| c.path.as_str())
+                    .collect();
+                assert_eq!(hit, vec![target.as_str()], "misattributed blast radius");
+                assert!(report.manifest_ok && report.ledger_ok);
+
+                // The gap verify closes: the merge accepts the forgery —
+                // its CRCs, chain, and ordinals are all internally
+                // consistent. Only the signed root tells the truth.
+                let (graph, mrep) = merge_directory(fs, "/provio");
+                assert!(
+                    !mrep.corrupt.contains(&target) && !mrep.quarantined.contains(&target),
+                    "tamper={name} seed={seed}: the rewrite should pass the CRC tier"
+                );
+                if matches!(kind, TamperKind::FileSubstitution) {
+                    assert!(
+                        lines(&graph).iter().any(|l| l.contains("urn:forged")),
+                        "the forged triples really merged — that is the threat"
+                    );
+                }
+
+                // Quarantine on verify's verdict; the next merge excludes
+                // the forgery and the verdict stays sticky.
+                let renamed = quarantine_tampered(fs, &report);
+                assert_eq!(renamed, vec![target.clone()]);
+                assert!(fs.exists(&format!("{target}.quarantine")));
+                let (clean, _) = merge_directory(fs, "/provio");
+                assert!(
+                    !lines(&clean).iter().any(|l| l.contains("urn:forged")),
+                    "quarantined forgery must not merge"
+                );
+                let again = verify_directory(fs, "/provio", KEY);
+                assert_eq!(again.count(FileVerdict::Tampered), 1, "sticky verdict");
+                assert!(!again.is_trusted());
+                assert!(
+                    quarantine_tampered(fs, &again).is_empty(),
+                    "re-quarantine is a no-op"
+                );
+            }
+            TamperKind::ManifestEdit => {
+                // An edited manifest fails its own signature; the files
+                // can no longer be judged at all.
+                assert!(!report.manifest_ok);
+                let bad: Vec<&FileCheck> = report
+                    .checks
+                    .iter()
+                    .filter(|c| c.verdict == FileVerdict::Tampered)
+                    .collect();
+                assert_eq!(bad.len(), 1);
+                assert_eq!(bad[0].path, MANIFEST);
+                assert_eq!(report.count(FileVerdict::Unsigned), files.len());
+            }
+            TamperKind::LedgerTruncate => {
+                // The files and manifest still verify — only the campaign
+                // seal is gone, and that alone breaks trust.
+                assert!(report.manifest_ok && !report.ledger_ok);
+                assert_eq!(report.count(FileVerdict::Verified), files.len());
+                let bad: Vec<&FileCheck> = report
+                    .checks
+                    .iter()
+                    .filter(|c| c.verdict == FileVerdict::Tampered)
+                    .collect();
+                assert_eq!(bad.len(), 1);
+                assert_eq!(bad[0].path, LEDGER);
+            }
+        }
+    }
+}
+
+#[test]
+fn legacy_directory_stays_unsigned_and_keeps_merging() {
+    let cluster = run_world(3, &[], false);
+    let fs = &cluster.fs;
+    assert!(!fs.exists(MANIFEST) && !fs.exists(LEDGER));
+
+    let report = verify_directory(fs, "/provio", KEY);
+    assert!(!report.is_trusted(), "unsigned is not trusted");
+    assert!(!report.manifest_present);
+    assert!(report.ledger_ok, "nothing sealed, nothing broken");
+    assert_eq!(report.count(FileVerdict::Unsigned), report.checks.len());
+    assert_eq!(report.count(FileVerdict::Tampered), 0, "no false positives");
+    assert!(report.to_string().contains("no manifest"));
+
+    // Merging is exactly the pre-manifest behavior.
+    let (graph, mrep) = merge_directory(fs, "/provio");
+    assert!(mrep.corrupt.is_empty() && mrep.quarantined.is_empty());
+    assert!(!lines(&graph).is_empty());
+
+    // The run report says "unverified" until someone runs verify, and
+    // NOT TRUSTED once they do — unsigned completeness is still honest
+    // completeness.
+    let mut run = RunReport::new(3);
+    run.attach_merge(mrep.files, &mrep);
+    assert!(run.to_string().contains("trust: unverified"), "{run}");
+    run.attach_verify(&report);
+    assert!(!run.is_trusted());
+    assert!(run.is_complete(), "trust and completeness are orthogonal");
+    assert!(run.to_string().contains("NOT TRUSTED"), "{run}");
+}
+
+/// Deleting the manifest after sealing is itself evidence: the ledger
+/// remembers the run, so the absence reads as tampering, not legacy.
+#[test]
+fn deleting_the_manifest_is_visible_through_the_ledger() {
+    let cluster = run_world(3, &[], true);
+    let fs = &cluster.fs;
+    fs.unlink(MANIFEST).unwrap();
+
+    let report = verify_directory(fs, "/provio", KEY);
+    assert!(!report.is_trusted());
+    assert!(!report.manifest_present && !report.ledger_ok);
+    assert!(report
+        .checks
+        .iter()
+        .any(|c| c.path == MANIFEST && c.verdict == FileVerdict::Missing));
+}
