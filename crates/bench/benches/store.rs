@@ -12,7 +12,10 @@
 //!   would take minutes per sample).
 
 use criterion::{black_box, criterion_group, Criterion};
-use provio::{merge_directory, merge_directory_sequential, ProvenanceStore, RdfFormat};
+use provio::{
+    merge_directory, merge_directory_sequential, merge_directory_with_threads, ProvenanceStore,
+    RdfFormat,
+};
 use provio_hpcfs::{FileSystem, LustreConfig};
 use provio_rdf::{Iri, Subject, Term, Triple};
 use std::sync::Arc;
@@ -24,6 +27,12 @@ const FLUSH_INTERVAL: usize = 1_000;
 const WAL_GROUPS: [u32; 3] = [1, 64, 1024];
 /// Ranks contributing per-process sub-graphs to the merge benchmark.
 const MERGE_RANKS: usize = 8;
+/// Commit-plane parity group width benchmarked. Parity's exclusive cost
+/// is per-seal (member records + base64 XOR block), so overhead falls as
+/// the group widens; 64 matches the workload's ~100 delta commits — one
+/// mid-run seal carries the compaction snapshot. The dense config default
+/// of 16 trades roughly double the overhead for 4× repair coverage.
+const PARITY_GROUP: u32 = 64;
 
 fn quick() -> bool {
     std::env::var_os("PROVIO_BENCH_QUICK").is_some()
@@ -125,6 +134,22 @@ fn run_flush_workload_sealed(n: usize) -> Duration {
     start.elapsed()
 }
 
+/// The checksummed workload with XOR parity on: every `PARITY_GROUP`
+/// commits, the store XORs the group's frames and seals a `.par` file —
+/// the redundancy the scrub/repair tier reconstructs single losses from.
+fn run_flush_workload_parity(n: usize) -> Duration {
+    let fs = FileSystem::new(LustreConfig::default());
+    let st = store_opts(&fs, "/prov/rank0.nt", true, true).with_parity(true, PARITY_GROUP);
+    let data = triples(0..n);
+    let start = Instant::now();
+    for chunk in data.chunks(FLUSH_INTERVAL) {
+        st.push(chunk.to_vec(), None);
+        st.flush(None);
+    }
+    st.finish(None);
+    start.elapsed()
+}
+
 /// The same workload with the write-ahead journal on: every push is
 /// group-committed to the journal, every flush forces the tail out and
 /// recycles the generation.
@@ -153,6 +178,9 @@ fn bench_flush(c: &mut Criterion) {
         });
         group.bench_function(format!("sealed/{n}"), |b| {
             b.iter(|| black_box(run_flush_workload_sealed(n)));
+        });
+        group.bench_function(format!("parity/{n}"), |b| {
+            b.iter(|| black_box(run_flush_workload_parity(n)));
         });
         for g in WAL_GROUPS {
             group.bench_function(format!("wal{g}/{n}"), |b| {
@@ -220,46 +248,64 @@ fn bench_merge(c: &mut Criterion) {
 }
 
 /// Before/after record for the acceptance scenario. Runs each side once
-/// warm, takes the best of three timed runs (one-shot timings drift with
-/// allocator and page-cache state, enough to swamp a ±15% overhead bar),
-/// and hand-formats the JSON (the vendored serde_json has no `Serialize`).
+/// warm, then takes per-side minima over *interleaved* timed rounds:
+/// one-shot timings drift with allocator and page-cache state by tens of
+/// milliseconds at the 100k scale — enough to invert a ±10% overhead
+/// ratio when one side's runs are a contiguous block — and interleaving
+/// exposes every side to the same drift. Hand-formats the JSON (the
+/// vendored serde_json has no `Serialize`).
 fn headline_comparison() {
     if quick() {
         return;
     }
-    fn best_of(k: usize, f: impl Fn() -> Duration) -> Duration {
-        (0..k).map(|_| f()).min().expect("k > 0")
-    }
+    const ROUNDS: usize = 3;
     let mut rows = String::new();
     for n in scales() {
         if n > 100_000 {
             continue; // legacy side is impractical past 100k
         }
-        // One warm pass each to fault in code paths, then the timed run.
+        // One warm pass each to fault in code paths, then the timed rounds.
         run_flush_workload(false, n.min(10_000));
         run_flush_workload(true, n.min(10_000));
         run_flush_workload_opts(true, true, n.min(10_000));
         run_flush_workload_sealed(n.min(10_000));
+        run_flush_workload_parity(n.min(10_000));
         for g in WAL_GROUPS {
             run_flush_workload_wal(n.min(10_000), g);
         }
-        let legacy = best_of(2, || run_flush_workload(false, n));
-        let delta = best_of(3, || run_flush_workload(true, n));
-        let checksummed = best_of(3, || run_flush_workload_opts(true, true, n));
-        let sealed = best_of(3, || run_flush_workload_sealed(n));
-        let wal_ms: Vec<f64> = WAL_GROUPS
-            .iter()
-            .map(|&g| best_of(3, || run_flush_workload_wal(n, g)).as_secs_f64() * 1e3)
-            .collect();
+        let mut legacy = Duration::MAX;
+        let mut delta = Duration::MAX;
+        let mut checksummed = Duration::MAX;
+        let mut sealed = Duration::MAX;
+        let mut parity = Duration::MAX;
+        let mut wal = [Duration::MAX; WAL_GROUPS.len()];
+        for round in 0..ROUNDS {
+            if round < 2 {
+                legacy = legacy.min(run_flush_workload(false, n));
+            }
+            delta = delta.min(run_flush_workload(true, n));
+            checksummed = checksummed.min(run_flush_workload_opts(true, true, n));
+            sealed = sealed.min(run_flush_workload_sealed(n));
+            parity = parity.min(run_flush_workload_parity(n));
+            for (i, &g) in WAL_GROUPS.iter().enumerate() {
+                wal[i] = wal[i].min(run_flush_workload_wal(n, g));
+            }
+        }
+        let wal_ms: Vec<f64> = wal.iter().map(|d| d.as_secs_f64() * 1e3).collect();
         let legacy_ms = legacy.as_secs_f64() * 1e3;
         let delta_ms = delta.as_secs_f64() * 1e3;
         let checksummed_ms = checksummed.as_secs_f64() * 1e3;
         let sealed_ms = sealed.as_secs_f64() * 1e3;
+        let parity_ms = parity.as_secs_f64() * 1e3;
         let speedup = legacy_ms / delta_ms.max(1e-9);
         let overhead_pct = (checksummed_ms / delta_ms.max(1e-9) - 1.0) * 100.0;
         // The trust tier's cost: Merkle roots + signed manifest + ledger
         // append, relative to the checksummed workload it runs on top of.
         let manifest_overhead_pct = (sealed_ms / checksummed_ms.max(1e-9) - 1.0) * 100.0;
+        // The self-healing tier's cost: XOR accumulation + a sealed `.par`
+        // per PARITY_GROUP commits, relative to the checksummed workload
+        // it protects. The contract is ≤10% at the benchmarked width.
+        let parity_overhead_pct = (parity_ms / checksummed_ms.max(1e-9) - 1.0) * 100.0;
         // The durability contract's cost: journal overhead at the default
         // group-commit size, relative to the journal-free delta protocol.
         let wal64_overhead_pct = (wal_ms[1] / delta_ms.max(1e-9) - 1.0) * 100.0;
@@ -267,6 +313,7 @@ fn headline_comparison() {
             "store_headline/{n}: legacy {legacy_ms:.1} ms, delta {delta_ms:.1} ms, {speedup:.1}x; \
              checksummed {checksummed_ms:.1} ms ({overhead_pct:+.1}% vs delta); \
              sealed {sealed_ms:.1} ms ({manifest_overhead_pct:+.1}% vs checksummed); \
+             parity g{PARITY_GROUP} {parity_ms:.1} ms ({parity_overhead_pct:+.1}% vs checksummed); \
              wal g1 {:.1} ms, g64 {:.1} ms ({wal64_overhead_pct:+.1}% vs delta), g1024 {:.1} ms",
             wal_ms[0], wal_ms[1], wal_ms[2]
         );
@@ -281,6 +328,9 @@ fn headline_comparison() {
              \"checksum_overhead_pct\": {overhead_pct:.2}, \
              \"sealed_manifest_ms\": {sealed_ms:.2}, \
              \"manifest_overhead_pct\": {manifest_overhead_pct:.2}, \
+             \"parity_group\": {PARITY_GROUP}, \
+             \"parity_ms\": {parity_ms:.2}, \
+             \"parity_overhead_pct\": {parity_overhead_pct:.2}, \
              \"wal_group1_ms\": {:.2}, \"wal_group64_ms\": {:.2}, \
              \"wal_group1024_ms\": {:.2}, \
              \"wal_group64_overhead_pct\": {wal64_overhead_pct:.2}}}",
@@ -293,15 +343,38 @@ fn headline_comparison() {
     let merge_n = if scales().contains(&100_000) { 100_000 } else { 10_000 };
     let fs = build_merge_dir(merge_n);
     merge_directory_sequential(&fs, "/prov"); // warm
-    let t0 = Instant::now();
-    let seq_len = merge_directory_sequential(&fs, "/prov").0.len();
-    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let t1 = Instant::now();
-    let par_len = merge_directory(&fs, "/prov").0.len();
-    let par_ms = t1.elapsed().as_secs_f64() * 1e3;
+    fn timed<T>(k: usize, f: impl Fn() -> T) -> (T, f64) {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..k {
+            let t = Instant::now();
+            let v = f();
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+            out = Some(v);
+        }
+        (out.expect("k > 0"), best)
+    }
+    let (seq_len, seq_ms) = timed(3, || merge_directory_sequential(&fs, "/prov").0.len());
+    let (par_len, par_ms) = timed(3, || merge_directory(&fs, "/prov").0.len());
     assert_eq!(seq_len, par_len, "parallel merge diverged from sequential");
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    println!("store_merge_headline/{merge_n}: sequential {seq_ms:.1} ms, parallel {par_ms:.1} ms ({cores} cores)");
+    // The explicit pool-size knob: force one worker per core so the merge
+    // never silently degenerates to a 1-thread pool, and prove the forced
+    // pool produces the same graph. On a real multi-core host the speedup
+    // over sequential must be material, not incidental.
+    let (forced_len, forced_ms) =
+        timed(3, || merge_directory_with_threads(&fs, "/prov", cores as u32).0.len());
+    assert_eq!(seq_len, forced_len, "forced-pool merge diverged from sequential");
+    let merge_speedup = seq_ms / forced_ms.max(1e-9);
+    assert!(
+        cores < 4 || merge_speedup > 1.3,
+        "parallel merge on {cores} cores is only {merge_speedup:.2}x over sequential \
+         (seq {seq_ms:.1} ms, forced {forced_ms:.1} ms) — the pool degenerated"
+    );
+    println!(
+        "store_merge_headline/{merge_n}: sequential {seq_ms:.1} ms, parallel {par_ms:.1} ms, \
+         forced {cores}-thread pool {forced_ms:.1} ms ({merge_speedup:.2}x)"
+    );
     let json = format!(
         "{{\n  \"bench\": \"provenance store flush protocol\",\n  \
          \"workload\": \"N triples pushed in batches of {FLUSH_INTERVAL}, flush after \
@@ -314,14 +387,19 @@ fn headline_comparison() {
          roots collected into MANIFEST.provio, HMAC-SHA256 signed, digest chained \
          into the CAMPAIGN.provio ledger; manifest_overhead_pct is sealed vs \
          checksummed\",\n  \
+         \"parity\": \"checksummed workload + XOR parity: one sealed .par file \
+         per parity_group commits, the redundancy scrub reconstructs single \
+         losses from; parity_overhead_pct is parity vs checksummed\",\n  \
          \"wal\": \"delta protocol + write-ahead journal: push-time group commits \
          of framed N-Triples records, recycled on every successful flush; \
          wal_groupN_ms is the workload with group-commit size N\",\n  \
          \"scenarios\": [\n{rows}\n  ],\n  \
          \"merge\": {{\"triples\": {merge_n}, \"ranks\": {MERGE_RANKS}, \
          \"sequential_ms\": {seq_ms:.2}, \"parallel_ms\": {par_ms:.2}, \
+         \"forced_pool_ms\": {forced_ms:.2}, \"forced_pool_threads\": {cores}, \
+         \"forced_pool_speedup\": {merge_speedup:.2}, \
          \"host_cores\": {cores}, \
-         \"note\": \"vendored rayon splits across available_parallelism threads; on a 1-core host the parallel path degenerates to sequential\"}}\n}}\n"
+         \"note\": \"vendored rayon splits across available_parallelism threads by default; forced_pool uses merge_directory_with_threads (the merge_threads config knob) to pin one worker per core, so the merge never silently degenerates to a 1-thread pool\"}}\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
     std::fs::write(path, json).expect("write BENCH_store.json");

@@ -151,6 +151,24 @@ pub struct ProvIoConfig {
     /// Records per WAL group commit (`[store] wal_group`; must be ≥ 1).
     /// 1 = commit every record (strongest bound, highest overhead).
     pub wal_group: u32,
+    /// Maintain XOR parity over committed artifacts (`[store] parity`):
+    /// every `parity_group` commits the store seals a
+    /// `<snapshot>.pNNNNNN.par` file from which `scrub` can reconstruct
+    /// any single lost or rotted group member byte-identical. Requires
+    /// `checksum_format` (parity groups are defined over framed commits).
+    /// `false` (the default) keeps the detect-and-drop behavior.
+    pub parity: bool,
+    /// Committed artifacts per parity group (`[store] parity_group`; must
+    /// be ≥ 1). 1 = every commit gets a parity twin (replication — full
+    /// coverage, full write duplication); larger groups amortize the
+    /// parity volume to ~1/N of committed bytes at a tolerance of one
+    /// lost member per group.
+    pub parity_group: u32,
+    /// Worker threads for the post-run parallel merge (`[store]
+    /// merge_threads`; 0 = size from `available_parallelism`). Hosts that
+    /// report one core would otherwise degenerate `merge_directory` to a
+    /// sequential loop.
+    pub merge_threads: u32,
     /// Emit a signed run manifest (`<store_dir>/MANIFEST.provio`) at
     /// `finish_all` and chain its digest into the campaign ledger
     /// (`<store_dir>/CAMPAIGN.provio`) — the tamper-evidence layer on top
@@ -196,6 +214,12 @@ pub const DEFAULT_WAL_GROUP: u32 = 64;
 /// authenticity.
 pub const DEFAULT_MANIFEST_KEY: &str = "provio-insecure-default-key";
 
+/// Default parity group width, in committed artifacts (see
+/// [`ProvIoConfig::parity_group`]). 16 keeps the extra write volume near
+/// 1/16 ≈ 6% of committed bytes while still tolerating one lost artifact
+/// per sixteen commits; sweeps and tests narrow it for denser coverage.
+pub const DEFAULT_PARITY_GROUP: u32 = 16;
+
 impl Default for ProvIoConfig {
     fn default() -> Self {
         ProvIoConfig {
@@ -216,6 +240,9 @@ impl Default for ProvIoConfig {
             checksum_format: false,
             wal: false,
             wal_group: DEFAULT_WAL_GROUP,
+            parity: false,
+            parity_group: DEFAULT_PARITY_GROUP,
+            merge_threads: 0,
             manifest: false,
             manifest_key: DEFAULT_MANIFEST_KEY.to_string(),
             query_budget: 0,
@@ -311,6 +338,23 @@ impl ProvIoConfig {
         self
     }
 
+    /// Enable parity protection with the given group width (`group` is
+    /// clamped up to 1; see [`ProvIoConfig::parity_group`]). Parity is
+    /// only meaningful over framed commits, so callers should also arm
+    /// `checksum_format` — `from_ini` rejects the combination outright.
+    pub fn with_parity(mut self, enabled: bool, group: u32) -> Self {
+        self.parity = enabled;
+        self.parity_group = group.max(1);
+        self
+    }
+
+    /// Size the post-run merge worker pool (0 = automatic; see
+    /// [`ProvIoConfig::merge_threads`]).
+    pub fn with_merge_threads(mut self, threads: u32) -> Self {
+        self.merge_threads = threads;
+        self
+    }
+
     /// Emit a signed run manifest + campaign ledger entry at `finish_all`.
     /// Implies nothing about `checksum_format` — but unframed files can
     /// only be anchored by a whole-file digest, so framed stores verify at
@@ -347,6 +391,10 @@ impl ProvIoConfig {
     /// `checksum_format` (`true`/`false`, framed checksummed store files),
     /// `wal` (`true`/`false`, per-process write-ahead journal),
     /// `wal_group` (`<n>` records per WAL group commit, must be ≥ 1),
+    /// `parity` (`true`/`false`, XOR parity over committed artifacts;
+    /// requires `checksum_format`), `parity_group` (`<n>` commits per
+    /// parity group, must be ≥ 1), `merge_threads` (`<n>` merge workers,
+    /// 0 = automatic),
     /// `manifest` (`true`/`false`, signed run manifest + campaign ledger),
     /// `manifest_key` (HMAC key for manifest signatures),
     /// `query_budget` (`<n>` evaluation steps, 0 = unlimited),
@@ -434,6 +482,27 @@ impl ProvIoConfig {
                         ));
                     }
                 }
+                "parity" => {
+                    cfg.parity = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad bool", lineno + 1))?
+                }
+                "parity_group" => {
+                    cfg.parity_group = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad integer", lineno + 1))?;
+                    if cfg.parity_group == 0 {
+                        return Err(format!(
+                            "line {}: parity_group must be >= 1",
+                            lineno + 1
+                        ));
+                    }
+                }
+                "merge_threads" => {
+                    cfg.merge_threads = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad integer", lineno + 1))?
+                }
                 "manifest" => {
                     cfg.manifest = value
                         .parse()
@@ -502,6 +571,14 @@ impl ProvIoConfig {
                 }
                 other => return Err(format!("line {}: unknown key {other}", lineno + 1)),
             }
+        }
+        // Cross-key validation (after the loop: ini files are order-free).
+        // Parity groups are defined over framed commits — without the
+        // checksummed format there are no member CRCs to record and no
+        // Merkle roots for scrub to restore, so the combination is a
+        // configuration error, not a silent no-op.
+        if cfg.parity && !cfg.checksum_format {
+            return Err("parity requires checksum_format = true".to_string());
         }
         Ok(cfg)
     }
@@ -705,6 +782,51 @@ mod tests {
         assert!(ProvIoConfig::from_ini("wal_group = many").is_err());
         let err = ProvIoConfig::from_ini("wal = true\nwal_group = 0\n").unwrap_err();
         assert!(err.contains("wal_group must be >= 1"), "err: {err}");
+    }
+
+    #[test]
+    fn parity_knobs_default_builder_and_ini() {
+        let c = ProvIoConfig::default();
+        assert!(!c.parity, "parity off unless asked");
+        assert_eq!(c.parity_group, DEFAULT_PARITY_GROUP);
+        assert_eq!(c.merge_threads, 0, "merge pool auto-sized by default");
+
+        let c = ProvIoConfig::default().with_parity(true, 4).with_merge_threads(8);
+        assert!(c.parity);
+        assert_eq!(c.parity_group, 4);
+        assert_eq!(c.merge_threads, 8);
+        // The builder clamps a nonsensical group size instead of storing 0.
+        assert_eq!(ProvIoConfig::default().with_parity(true, 0).parity_group, 1);
+
+        let c = ProvIoConfig::from_ini(
+            "[store]\nchecksum_format = true\nparity = true\nparity_group = 3\nmerge_threads = 4\n",
+        )
+        .unwrap();
+        assert!(c.parity && c.checksum_format);
+        assert_eq!(c.parity_group, 3);
+        assert_eq!(c.merge_threads, 4);
+
+        // Round-trip of just `parity` keeps the default group width.
+        let c = ProvIoConfig::from_ini("checksum_format = true\nparity = true\n").unwrap();
+        assert_eq!(c.parity_group, DEFAULT_PARITY_GROUP);
+
+        assert!(ProvIoConfig::from_ini("parity = maybe").is_err());
+        assert!(ProvIoConfig::from_ini("parity_group = many").is_err());
+        assert!(ProvIoConfig::from_ini("merge_threads = lots").is_err());
+        let err = ProvIoConfig::from_ini(
+            "checksum_format = true\nparity = true\nparity_group = 0\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("parity_group must be >= 1"), "err: {err}");
+
+        // Parity without the framed format is rejected, in either key order.
+        let err = ProvIoConfig::from_ini("parity = true\n").unwrap_err();
+        assert!(err.contains("requires checksum_format"), "err: {err}");
+        let err =
+            ProvIoConfig::from_ini("parity = true\nchecksum_format = false\n").unwrap_err();
+        assert!(err.contains("requires checksum_format"), "err: {err}");
+        // A bare parity_group (tuning a disabled feature) stays legal.
+        assert!(ProvIoConfig::from_ini("parity_group = 5\n").is_ok());
     }
 
     #[test]

@@ -71,6 +71,12 @@ pub enum FrameKind {
     /// their `ordinal` is the *record* ordinal of the chunk's first journal
     /// record, and `prev` chains chunks within one journal generation file.
     Wal,
+    /// One sealed parity group (`<snapshot>.pNNNNNN.par`): XOR redundancy
+    /// over committed artifacts. Parity files live outside the commit chain
+    /// like WAL generations — their `ordinal` is a store-wide parity
+    /// sequence and `prev` is always [`CHAIN_START`]. The payload is member
+    /// descriptor lines plus a base64 XOR block (see `scrub`).
+    Parity,
 }
 
 impl FrameKind {
@@ -79,6 +85,7 @@ impl FrameKind {
             FrameKind::Snapshot => "snapshot",
             FrameKind::Delta => "delta",
             FrameKind::Wal => "wal",
+            FrameKind::Parity => "parity",
         }
     }
 
@@ -87,6 +94,7 @@ impl FrameKind {
             "snapshot" => Some(FrameKind::Snapshot),
             "delta" => Some(FrameKind::Delta),
             "wal" => Some(FrameKind::Wal),
+            "parity" => Some(FrameKind::Parity),
             _ => None,
         }
     }
@@ -182,6 +190,18 @@ pub fn base_store_path(path: &str) -> &str {
             }
         }
     }
+    // `<snapshot>.pNNNNNN.par` → `<snapshot>`
+    if let Some(rest) = p.strip_suffix(".par") {
+        if rest.len() >= 8 {
+            let (head, seq) = rest.split_at(rest.len() - 7);
+            if head.ends_with('.')
+                && seq.starts_with('p')
+                && seq[1..].bytes().all(|b| b.is_ascii_digit())
+            {
+                return &head[..head.len() - 1];
+            }
+        }
+    }
     p
 }
 
@@ -203,6 +223,30 @@ pub fn is_wal_path(path: &str) -> bool {
             let (head, seq) = rest.split_at(rest.len() - 7);
             return head.ends_with('.')
                 && seq.starts_with('w')
+                && seq[1..].bytes().all(|b| b.is_ascii_digit());
+        }
+    }
+    false
+}
+
+/// Is `path` a sealed parity file (`<snapshot>.pNNNNNN.par`, possibly
+/// wrapped in commit-protocol suffixes)?
+pub fn is_parity_path(path: &str) -> bool {
+    let mut p = path;
+    loop {
+        if let Some(rest) = p.strip_suffix(".tmp") {
+            p = rest;
+        } else if let Some(rest) = p.strip_suffix(".quarantine") {
+            p = rest;
+        } else {
+            break;
+        }
+    }
+    if let Some(rest) = p.strip_suffix(".par") {
+        if rest.len() >= 8 {
+            let (head, seq) = rest.split_at(rest.len() - 7);
+            return head.ends_with('.')
+                && seq.starts_with('p')
                 && seq[1..].bytes().all(|b| b.is_ascii_digit());
         }
     }
@@ -549,7 +593,7 @@ fn parse_batch_marker(line: &str) -> Option<(usize, u32)> {
     Some((lines?, crc?))
 }
 
-fn parse_hex32(s: &str) -> Option<[u8; 32]> {
+pub(crate) fn parse_hex32(s: &str) -> Option<[u8; 32]> {
     if s.len() != 64 {
         return None;
     }
@@ -886,6 +930,9 @@ mod tests {
             "/provio/prov_p1.nt.w000000.nt",
             "/provio/prov_p1.nt.w000002.nt.tmp",
             "/provio/prov_p1.nt.w000002.nt.quarantine",
+            "/provio/prov_p1.nt.p000000.par",
+            "/provio/prov_p1.nt.p000004.par.tmp",
+            "/provio/prov_p1.nt.p000004.par.quarantine",
         ] {
             assert_eq!(store_guid(p), base, "{p}");
         }
@@ -907,6 +954,28 @@ mod tests {
         assert!(!is_wal_path("/provio/prov_p1.nt"));
         assert!(!is_wal_path("/provio/prov_p1.nt.d000001.nt"));
         assert!(!is_wal_path("/provio/w000001.nt"));
+    }
+
+    #[test]
+    fn parity_paths_are_recognized() {
+        assert!(is_parity_path("/provio/prov_p1.nt.p000000.par"));
+        assert!(is_parity_path("/provio/prov_p1.ttl.p000123.par"));
+        assert!(is_parity_path("/provio/prov_p1.nt.p000000.par.tmp"));
+        assert!(!is_parity_path("/provio/prov_p1.nt"));
+        assert!(!is_parity_path("/provio/prov_p1.nt.d000001.nt"));
+        assert!(!is_parity_path("/provio/prov_p1.nt.w000001.nt"));
+        assert!(!is_parity_path("/provio/p000001.par"));
+        let (text, _) = encode(
+            FrameKind::Parity,
+            store_guid("/provio/prov_p1.nt"),
+            0,
+            CHAIN_START,
+            "member crc=00000000 offset=0 len=0 ord=- path=/x\n",
+            64,
+        );
+        let f = decode(&text).unwrap();
+        assert_eq!(f.kind, FrameKind::Parity);
+        assert!(f.intact());
     }
 
     fn wal_chunk(guid: u64, ordinal: u64, prev: u32, lines: &[&str]) -> (Vec<u8>, u32) {

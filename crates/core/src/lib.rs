@@ -32,6 +32,7 @@ pub mod engine;
 pub mod frame;
 pub mod merge;
 pub mod report;
+pub mod scrub;
 pub mod store;
 pub mod tracker;
 pub mod verify;
@@ -42,8 +43,9 @@ pub use config::{OverloadPolicy, ProvIoConfig, RdfFormat, RetryPolicy, Serializa
 pub use connector::ProvIoVol;
 pub use engine::ProvQueryEngine;
 pub use frame::{store_guid, FrameKind, FramedFile};
-pub use merge::{merge_directory, merge_directory_sequential};
+pub use merge::{merge_directory, merge_directory_sequential, merge_directory_with_threads};
 pub use report::{doctor, DoctorReport, RankCrash, RunReport};
+pub use scrub::{repairable_paths, scrub_directory, ScrubReport};
 pub use store::{BreakerState, ProvenanceStore};
 pub use tracker::{IoEvent, ObjectDesc, ProvTracker, TrackerRegistry};
 pub use verify::{

@@ -222,6 +222,15 @@ fn process_file(fs: &Arc<FileSystem>, path: &str, committed: &HashSet<&str>) -> 
     if crate::verify::is_trust_artifact(path) {
         return Outcome::Skipped;
     }
+    // Parity files are redundancy, not sub-graph data: the scrub pass
+    // (`crate::scrub`) owns them, the merge never parses one — their
+    // frames sit outside the commit chain (prev is always CHAIN_START),
+    // so folding them in would only manufacture chain breaks. The suffix
+    // check sees through `.tmp` and `.quarantine`, so an interrupted
+    // parity seal is never adopted as an orphan store either.
+    if frame::is_parity_path(path) {
+        return Outcome::Skipped;
+    }
     let is_wal = frame::is_wal_path(path);
     if is_wal && path.ends_with(".tmp") {
         // A journal generation tmp left by an interrupted create: it was
@@ -417,6 +426,24 @@ pub fn merge_directory(fs: &Arc<FileSystem>, dir: &str) -> (Graph, MergeReport) 
 /// ablation benchmarks and output-equivalence tests.
 pub fn merge_directory_sequential(fs: &Arc<FileSystem>, dir: &str) -> (Graph, MergeReport) {
     merge_directory_impl(fs, dir, false)
+}
+
+/// [`merge_directory`] with an explicit worker-pool size (the
+/// `merge_threads` config knob). `threads = 0` keeps the automatic sizing
+/// from `available_parallelism` — which on hosts that report a single
+/// core silently degenerates the parallel path to a sequential loop, even
+/// though the per-file work is I/O-and-parse bound and still overlaps.
+/// Callers that know their target can force a real pool; the override is
+/// cleared before returning. Output is identical at any pool size.
+pub fn merge_directory_with_threads(
+    fs: &Arc<FileSystem>,
+    dir: &str,
+    threads: u32,
+) -> (Graph, MergeReport) {
+    rayon::set_thread_count(threads as usize);
+    let out = merge_directory_impl(fs, dir, true);
+    rayon::set_thread_count(0);
+    out
 }
 
 fn merge_directory_impl(
@@ -681,6 +708,52 @@ mod tests {
         assert!(report.corrupt.is_empty());
         assert!(report.recovered.is_empty());
         assert_eq!(report.salvaged_triples, 0);
+    }
+
+    #[test]
+    fn parity_files_are_skipped_not_merged() {
+        let fs = FileSystem::new(LustreConfig::default());
+        write_file(&fs, "/provio/prov_p0.nt", b"<urn:a> <urn:p> <urn:b> .\n");
+        // A sealed parity file, an interrupted parity tmp, and a condemned
+        // copy: redundancy, not data — none may fold, quarantine, count as
+        // corrupt, or adopt as an orphan, and none may break the chain.
+        let guid = frame::store_guid("/provio/prov_p0.nt");
+        let mut enc = frame::Encoder::new(FrameKind::Parity, guid, 0, frame::CHAIN_START);
+        enc.batch(&["member crc=00000000 offset=0 len=0 ord=- path=/provio/prov_p0.nt"]);
+        enc.batch(&["data len=0 b64="]);
+        let (par, _chain, _root) = enc.finish_with_root();
+        write_file(&fs, "/provio/prov_p0.nt.p000000.par", &par);
+        write_file(&fs, "/provio/prov_p0.nt.p000001.par.tmp", &par);
+        write_file(&fs, "/provio/prov_p0.nt.p000002.par.quarantine", &par);
+        let (g, report) = merge_directory(&fs, "/provio");
+        assert_eq!(report.files, 1);
+        assert_eq!(g.len(), 1);
+        assert!(report.corrupt.is_empty());
+        assert!(report.quarantined.is_empty());
+        assert!(report.recovered.is_empty());
+        assert_eq!(report.chain_breaks, 0);
+    }
+
+    #[test]
+    fn forced_thread_pool_matches_sequential_output() {
+        let fs = FileSystem::new(LustreConfig::default());
+        for pid in 0..6 {
+            write_file(
+                &fs,
+                &format!("/provio/prov_p{pid}.nt"),
+                format!("<urn:s{pid}> <urn:p> <urn:o{pid}> .\n<urn:shared> <urn:p> <urn:o> .\n")
+                    .as_bytes(),
+            );
+        }
+        let (seq_g, seq_r) = merge_directory_sequential(&fs, "/provio");
+        let (par_g, par_r) = merge_directory_with_threads(&fs, "/provio", 4);
+        assert_eq!(par_r.files, seq_r.files);
+        assert_eq!(par_r.triples, seq_r.triples);
+        assert_eq!(
+            ntriples::serialize(&par_g),
+            ntriples::serialize(&seq_g),
+            "pool size must never change merge output"
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@ use provio_mpi::RankOutcome;
 use provio_rdf::{ns, Graph};
 
 use crate::merge::MergeReport;
+use crate::scrub::ScrubReport;
 use crate::verify::{FileVerdict, VerifyReport};
 
 /// One crashed rank, as witnessed by a superstep.
@@ -87,6 +88,14 @@ pub struct RunReport {
     pub manifest_ok: Option<bool>,
     /// Did the campaign ledger seal this run's manifest?
     pub ledger_ok: bool,
+    /// Files a scrub pass restored byte-identical from parity (damaged or
+    /// missing group members, plus quarantined copies restored for free).
+    pub scrub_repaired_files: usize,
+    /// CRC batches (or journal chunks) that verify again after repair.
+    pub scrub_repaired_batches: u64,
+    /// Member paths lost beyond parity tolerance: the merge-time loss
+    /// accounting (salvage, quarantine, truncation) stands for these.
+    pub scrub_unrecoverable: usize,
 }
 
 impl RunReport {
@@ -139,6 +148,18 @@ impl RunReport {
         self.ledger_ok = report.ledger_ok;
     }
 
+    /// Attach a scrub pass: what the parity redundancy repaired before
+    /// (or after) the merge, and what stayed lost. Unrecoverable *members*
+    /// cost completeness — the run's artifacts are provably not all
+    /// reconstructible, even if the merge salvaged their intact batches.
+    /// An unusable parity file is lost redundancy, not lost data: the
+    /// members themselves still verify, so it never costs completeness.
+    pub fn attach_scrub(&mut self, report: &ScrubReport) {
+        self.scrub_repaired_files = report.repaired_files.len();
+        self.scrub_repaired_batches = report.repaired_batches;
+        self.scrub_unrecoverable = report.unrecoverable.len();
+    }
+
     /// Ranks that completed every recorded superstep.
     pub fn surviving_ranks(&self) -> Vec<u32> {
         let dead: BTreeSet<u32> = self.crashed.iter().map(|c| c.rank).collect();
@@ -159,6 +180,7 @@ impl RunReport {
             && self.corrupt_files == 0
             && self.quarantined_files == 0
             && self.chain_breaks == 0
+            && self.scrub_unrecoverable == 0
             && self.recovered_subgraphs >= self.expected_subgraphs
     }
 
@@ -196,6 +218,15 @@ impl fmt::Display for RunReport {
             self.chain_breaks,
             self.wal_tails_truncated,
         )?;
+        if self.scrub_repaired_files > 0 || self.scrub_unrecoverable > 0 {
+            write!(
+                f,
+                "; scrub: {} files repaired ({} batches), {} unrecoverable",
+                self.scrub_repaired_files,
+                self.scrub_repaired_batches,
+                self.scrub_unrecoverable,
+            )?;
+        }
         match self.manifest_ok {
             None => write!(f, "; trust: unverified"),
             Some(signed) => write!(
@@ -396,6 +427,32 @@ mod tests {
             replayed_triples: 0,
             wal_tails_truncated: 0,
         }
+    }
+
+    #[test]
+    fn scrub_results_fold_into_completeness() {
+        let mut r = RunReport::new(2);
+        r.attach_merge(2, &merge_report(2, 50));
+        assert!(r.is_complete());
+        let mut s = ScrubReport::default();
+        s.repaired_files = vec!["/p/a".into()];
+        s.repaired_batches = 3;
+        r.attach_scrub(&s);
+        assert!(r.is_complete(), "repair within tolerance costs nothing: {r}");
+        assert!(
+            format!("{r}").contains("scrub: 1 files repaired (3 batches), 0 unrecoverable"),
+            "{r}"
+        );
+        s.unrecoverable = vec!["/p/b".into()];
+        r.attach_scrub(&s);
+        assert!(!r.is_complete(), "loss beyond tolerance costs completeness: {r}");
+        // An unusable parity file is lost *redundancy*, not lost data: the
+        // members all still verify, so completeness survives.
+        let mut u = ScrubReport::default();
+        u.unusable_parity = vec!["/p/a.p000000.par".into()];
+        r.attach_scrub(&u);
+        assert_eq!(r.scrub_unrecoverable, 0);
+        assert!(r.is_complete(), "{r}");
     }
 
     #[test]

@@ -113,6 +113,7 @@
 
 use crate::config::{OverloadPolicy, RdfFormat, RetryPolicy};
 use crate::frame::{self, FrameKind};
+use crate::scrub::{self, MemberCheck, ParityMember};
 use parking_lot::{Condvar, Mutex};
 use provio_hpcfs::{FileSystem, FsError, Ino};
 use provio_rdf::{ntriples, turtle, Graph, Namespaces, Term, TermId, Triple};
@@ -391,6 +392,38 @@ struct IoState {
     /// that changed underneath the cache (it then takes the slow re-read
     /// path). Entries for compacted-away segments are dropped with them.
     roots: HashMap<String, (u64, [u8; 32])>,
+    /// XOR parity over committed artifacts (see
+    /// [`ProvenanceStore::with_parity`]). Only active alongside
+    /// `checksums`: members are framed commits, and repair promises to
+    /// restore their Merkle roots.
+    parity: bool,
+    /// Committed artifacts per parity group (≥ 1). 1 = a parity twin per
+    /// commit (replication); larger groups trade coverage density for
+    /// write volume (~1/N of committed bytes).
+    parity_group: u32,
+    /// Sequence of the next `.pNNNNNN.par` file — store-wide, shared by
+    /// the commit-plane and journal-plane groups so names never collide.
+    parity_seq: u64,
+    /// Open commit-plane group (snapshot + delta segments): running XOR
+    /// accumulator and the member records it covers.
+    parity_acc: Vec<u8>,
+    parity_members: Vec<ParityMember>,
+    /// Sealed commit-plane parity files still live. Compaction supersedes
+    /// every member at once, so these drop wholesale with the segments.
+    parity_files: Vec<String>,
+    /// Open journal-plane group over the current WAL generation's chunks.
+    /// A chunk is immutable once appended, so (path, offset, len, crc)
+    /// members stay valid until the generation recycles.
+    wal_parity_acc: Vec<u8>,
+    wal_parity_members: Vec<ParityMember>,
+    /// Sealed journal-plane parity files (dropped on generation recycle —
+    /// a crashed rank never recycles, which is exactly when they matter).
+    wal_parity_files: Vec<String>,
+    /// Parity files sealed (lifetime, both planes).
+    parity_seals: u64,
+    /// Seal attempts that failed. Parity is redundancy, not data: a
+    /// failed seal costs future repairability, never the run.
+    parity_failed: u64,
 }
 
 fn seg_path(path: &str, seq: u64) -> String {
@@ -399,6 +432,10 @@ fn seg_path(path: &str, seq: u64) -> String {
 
 fn wal_path(path: &str, gen: u64) -> String {
     format!("{path}.w{gen:06}.nt")
+}
+
+fn par_path(path: &str, seq: u64) -> String {
+    format!("{path}.p{seq:06}.par")
 }
 
 /// Lines per CRC frame for line-oriented (N-Triples) payloads: small
@@ -576,20 +613,46 @@ impl IoState {
         let mut bytes =
             Vec::with_capacity(self.wal_buf.iter().map(|c| c.block.len() + 128).sum());
         let mut chain = self.wal_chain;
+        // Frame boundaries within `bytes`, recorded so each committed
+        // chunk can become a journal-plane parity member at its final
+        // offset in the generation file.
+        let mut spans: Vec<(u64, u64)> = Vec::new();
         for chunk in &self.wal_buf {
             let mut enc = frame::Encoder::new(FrameKind::Wal, self.guid, chunk.start, chain);
             enc.batch_block(&chunk.block, chunk.n as usize);
             let (frame_bytes, frame_chain) = enc.finish();
+            if self.parity_on() {
+                spans.push((bytes.len() as u64, frame_bytes.len() as u64));
+            }
             bytes.extend_from_slice(&frame_bytes);
             chain = frame_chain;
         }
         match self.fs.write_at(ino, self.wal_len, &bytes, SimTime::ZERO) {
             Ok(_) => {
+                if self.parity_on() {
+                    let gen = wal_path(&self.path, self.wal_gen);
+                    for &(off, len) in &spans {
+                        let span = &bytes[off as usize..(off + len) as usize];
+                        scrub::xor_into(&mut self.wal_parity_acc, span);
+                        self.wal_parity_members.push(ParityMember {
+                            path: gen.clone(),
+                            offset: self.wal_len + off,
+                            len,
+                            check: MemberCheck::Crc(crc32fast::hash(span)),
+                            ord: None,
+                        });
+                    }
+                }
                 self.wal_len += bytes.len() as u64;
                 self.wal_chain = chain;
                 self.wal_buf.clear();
                 self.wal_records += buffered;
                 self.wal_commits += 1;
+                if self.parity_on()
+                    && self.wal_parity_members.len() >= self.parity_group.max(1) as usize
+                {
+                    self.parity_seal_open(true);
+                }
             }
             Err(e) => self.wal_note_failure(e),
         }
@@ -623,6 +686,119 @@ impl IoState {
         self.wal_gen += 1;
         self.wal_len = 0;
         self.wal_chain = frame::CHAIN_START;
+        // Journal-plane parity referenced the retired generation's chunks;
+        // it retires with them.
+        for p in std::mem::take(&mut self.wal_parity_files) {
+            let _ = self.fs.unlink(&p);
+            self.roots.remove(&p);
+        }
+        self.wal_parity_acc.clear();
+        self.wal_parity_members.clear();
+    }
+
+    /// Parity is only live over framed commits: member records pin each
+    /// member (the commit frame's Merkle root for whole files, a raw-span
+    /// CRC for journal chunks) plus a commit ordinal, and repair promises
+    /// to restore those exact bytes.
+    fn parity_on(&self) -> bool {
+        self.parity && self.checksums
+    }
+
+    /// Fold one whole-file commit (snapshot or delta segment) into the
+    /// open commit-plane group; seal the group once it is full. Takes the
+    /// committed frame by value: the first member of a group *is* the
+    /// accumulator (XOR against an empty accumulator is identity), so a
+    /// snapshot-sized commit is adopted by move instead of copied.
+    fn parity_track_commit(&mut self, path: &str, bytes: Vec<u8>, ord: u64, root: Option<[u8; 32]>) {
+        if !self.parity_on() || self.crashed {
+            return;
+        }
+        let check = match root {
+            // The committing encoder already computed this root for the
+            // manifest cache: pinning the member costs no extra pass.
+            Some(r) => MemberCheck::Root(r),
+            None => MemberCheck::Crc(crc32fast::hash(&bytes)),
+        };
+        self.parity_members.push(ParityMember {
+            path: path.to_string(),
+            offset: 0,
+            len: bytes.len() as u64,
+            check,
+            ord: Some(ord),
+        });
+        if self.parity_acc.is_empty() {
+            self.parity_acc = bytes;
+        } else {
+            scrub::xor_into(&mut self.parity_acc, &bytes);
+        }
+        if self.parity_members.len() >= self.parity_group.max(1) as usize {
+            self.parity_seal_open(false);
+        }
+    }
+
+    /// Seal the open group of one plane as `<path>.pNNNNNN.par`: a
+    /// PROVIO1 `kind=parity` frame whose first batch is the member
+    /// records and whose second batch is the XOR block (base64, or a raw
+    /// replica for a single-member group — see
+    /// [`scrub::encode_parity_frame`]), committed
+    /// tmp+rename like every artifact and root-cached so the manifest
+    /// lists it. A failed seal drops the group — its members are already
+    /// durable, so only future repairability is lost, and the next commit
+    /// starts a fresh group.
+    fn parity_seal_open(&mut self, journal: bool) {
+        let (members, acc) = if journal {
+            (
+                std::mem::take(&mut self.wal_parity_members),
+                std::mem::take(&mut self.wal_parity_acc),
+            )
+        } else {
+            (
+                std::mem::take(&mut self.parity_members),
+                std::mem::take(&mut self.parity_acc),
+            )
+        };
+        if members.is_empty() {
+            return;
+        }
+        let seq = self.parity_seq;
+        let dst = par_path(&self.path, seq);
+        let tmp = format!("{dst}.tmp");
+        let member_lines: Vec<String> = members.iter().map(scrub::member_line).collect();
+        let (framed, root) = scrub::encode_parity_frame(self.guid, seq, &member_lines, &acc);
+        match self.try_commit(&tmp, &dst, &framed) {
+            Ok(()) => {
+                self.roots.insert(dst.clone(), (framed.len() as u64, root));
+                if journal {
+                    self.wal_parity_files.push(dst);
+                } else {
+                    self.parity_files.push(dst);
+                }
+                self.parity_seq += 1;
+                self.parity_seals += 1;
+            }
+            Err(e) => {
+                self.parity_failed += 1;
+                self.last_error = Some(e);
+                if e == FsError::Crashed {
+                    self.crashed = true;
+                    self.degraded = true;
+                }
+                let _ = self.fs.unlink(&tmp);
+            }
+        }
+    }
+
+    /// Compaction supersedes every artifact the commit-plane parity
+    /// covers: drop the sealed files and the open group. Runs *before*
+    /// the superseded segments are unlinked, so a crash in between leaves
+    /// no parity describing members that are already gone.
+    fn parity_invalidate_commit_plane(&mut self) {
+        for p in std::mem::take(&mut self.parity_files) {
+            let _ = self.fs.unlink(&p);
+            self.roots.remove(&p);
+        }
+        self.parity_acc.clear();
+        self.parity_members.clear();
     }
 }
 
@@ -699,6 +875,15 @@ impl Inner {
         if let Some(r) = root {
             io.roots.insert(dst.clone(), (bytes.len() as u64, r));
         }
+        let committed = bytes.len() as u64;
+        if io.parity_on() {
+            // The compacted snapshot supersedes everything the live parity
+            // covered; it then opens a fresh group as member zero. The
+            // ordinal is the one this commit just consumed.
+            io.parity_invalidate_commit_plane();
+            let ord = io.next_ordinal - 1;
+            io.parity_track_commit(&dst, bytes, ord, root);
+        }
         // The snapshot holds everything the segments held: fold them away.
         // Unlink failures are harmless — a surviving segment only feeds the
         // merge duplicate triples, which collapse.
@@ -713,7 +898,7 @@ impl Inner {
         io.snapshot_done = true;
         self.state.lock().watermark = captured;
         io.wal_recycle();
-        bytes.len() as u64
+        committed
     }
 
     /// Append one delta segment holding the triples above the watermark.
@@ -772,11 +957,15 @@ impl Inner {
             if let Some(r) = root {
                 io.roots.insert(seg.clone(), (bytes.len() as u64, r));
             }
+            let n = bytes.len() as u64;
+            if io.parity_on() {
+                let ord = io.next_ordinal - 1;
+                io.parity_track_commit(&seg, bytes, ord, root);
+            }
             io.segments.push(seg);
             io.next_seg += 1;
             io.deltas_since_snapshot += 1;
             io.wal_recycle();
-            let n = bytes.len() as u64;
             if io.compact_every > 0 && io.deltas_since_snapshot >= io.compact_every {
                 self.snapshot(io, charge);
             }
@@ -834,7 +1023,15 @@ impl Inner {
             io.dropped_flushes += 1;
             return 0;
         }
-        self.snapshot(io, charge)
+        let n = self.snapshot(io, charge);
+        if n > 0 {
+            // The run's terminal state must be repairable even when the
+            // final group is short: force-seal whatever is open (a
+            // single-member group degenerates to replication of the final
+            // snapshot — honest, and still one-loss-tolerant).
+            io.parity_seal_open(false);
+        }
+        n
     }
 
     /// Insert a batch into the graph. With the journal on, the newly
@@ -947,6 +1144,17 @@ impl ProvenanceStore {
             wal_recycles: 0,
             wal_failed_appends: 0,
             roots: HashMap::new(),
+            parity: false,
+            parity_group: crate::config::DEFAULT_PARITY_GROUP,
+            parity_seq: 0,
+            parity_acc: Vec::new(),
+            parity_members: Vec::new(),
+            parity_files: Vec::new(),
+            wal_parity_acc: Vec::new(),
+            wal_parity_members: Vec::new(),
+            wal_parity_files: Vec::new(),
+            parity_seals: 0,
+            parity_failed: 0,
         };
         ProvenanceStore {
             inner: Arc::new(Inner {
@@ -1032,6 +1240,20 @@ impl ProvenanceStore {
             io.wal_group = group.max(1);
         }
         self.wal_enabled = enabled;
+        self
+    }
+
+    /// Maintain XOR parity over committed artifacts in groups of `group`
+    /// (clamped up to 1): every full group seals a `<path>.pNNNNNN.par`
+    /// file from which [`crate::scrub`] can reconstruct any single lost
+    /// or rotted member byte-identical. Requires [`Self::with_checksums`]
+    /// — parity stays dormant on an unframed store. Off by default.
+    pub fn with_parity(self, enabled: bool, group: u32) -> Self {
+        {
+            let mut io = self.inner.io.lock();
+            io.parity = enabled;
+            io.parity_group = group.max(1);
+        }
         self
     }
 
@@ -1223,6 +1445,27 @@ impl ProvenanceStore {
         io.roots
             .iter()
             .map(|(p, &(n, r))| (p.clone(), n, r))
+            .collect()
+    }
+
+    /// Parity files sealed over this store's lifetime (both planes;
+    /// compaction/recycle may have since retired some).
+    pub fn parity_seals(&self) -> u64 {
+        self.inner.io.lock().parity_seals
+    }
+
+    /// Parity seal attempts that failed (coverage lost, run unaffected).
+    pub fn parity_failed(&self) -> u64 {
+        self.inner.io.lock().parity_failed
+    }
+
+    /// Sealed parity files currently live on disk, commit plane first.
+    pub fn parity_files(&self) -> Vec<String> {
+        let io = self.inner.io.lock();
+        io.parity_files
+            .iter()
+            .chain(io.wal_parity_files.iter())
+            .cloned()
             .collect()
     }
 }
@@ -2062,5 +2305,97 @@ mod tests {
         assert_eq!(st.wal_records(), 0);
         assert_eq!(st.wal_commits(), 0);
         assert_eq!(st.wal_recycles(), 0);
+    }
+
+    fn parity_files_on_disk(fs: &Arc<FileSystem>, dir: &str) -> Vec<String> {
+        fs.walk_files(dir)
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|p| frame::is_parity_path(p) && !p.ends_with(".tmp"))
+            .collect()
+    }
+
+    #[test]
+    fn parity_disabled_writes_no_parity_files() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/q0.nt", RdfFormat::NTriples, false)
+            .with_checksums(true)
+            .with_delta(true, 0);
+        st.push(triples(10), None);
+        st.flush(None);
+        st.push(triples_from(10, 5), None);
+        st.finish(None);
+        let pars = parity_files_on_disk(&fs, "/prov");
+        assert!(pars.is_empty(), "unexpected parity files: {pars:?}");
+        assert_eq!(st.parity_seals(), 0);
+        assert_eq!(st.parity_failed(), 0);
+    }
+
+    #[test]
+    fn parity_groups_seal_and_compaction_invalidates() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/q1.nt", RdfFormat::NTriples, false)
+            .with_checksums(true)
+            .with_delta(true, 0)
+            .with_parity(true, 2);
+        // Four commits (snapshot + three segments) at group width 2: two
+        // sealed parity files.
+        for i in 0..4 {
+            st.push(triples_from(i * 5, 5), None);
+            st.flush(None);
+        }
+        assert_eq!(st.parity_seals(), 2, "two full groups sealed");
+        let pars = parity_files_on_disk(&fs, "/prov");
+        assert_eq!(pars.len(), 2, "{pars:?}");
+        // Every sealed parity file decodes as an intact Parity frame and is
+        // in the root cache the sealer will hand to the manifest.
+        let rooted = st.committed_roots();
+        for p in &pars {
+            let ino = fs.lookup(p).unwrap();
+            let n = fs.file_size(ino).unwrap();
+            let text =
+                String::from_utf8(fs.read_at(ino, 0, n).unwrap().to_vec()).unwrap();
+            let framed = frame::decode(&text).expect("parity frame decodes");
+            assert_eq!(framed.kind, FrameKind::Parity);
+            assert!(framed.intact());
+            assert!(rooted.iter().any(|(path, _, _)| path == p), "{p} not rooted");
+        }
+        // Compaction rewrites history: stale commit-plane parity would
+        // "repair" the snapshot backwards, so it must vanish — replaced by
+        // a forced seal over the surviving snapshot.
+        st.finish(None);
+        let pars = parity_files_on_disk(&fs, "/prov");
+        assert_eq!(pars.len(), 1, "only the post-compaction seal remains: {pars:?}");
+        assert_eq!(st.parity_files(), pars);
+        // And the remaining group makes the final snapshot repairable.
+        fs.unlink("/prov/q1.nt").unwrap();
+        let rep = crate::scrub::scrub_directory(&fs, "/prov");
+        assert_eq!(rep.repaired_files, vec!["/prov/q1.nt".to_string()], "{rep}");
+    }
+
+    #[test]
+    fn parity_seal_failure_loses_redundancy_not_data() {
+        let fs = FileSystem::new(LustreConfig::default());
+        let plan = FaultPlan::new(41);
+        // Every parity seal dies in flight; store commits are untouched.
+        plan.add_rule(FaultRule::fail(FaultOp::WriteAt, FsError::Io).on_suffix(".par.tmp"));
+        fs.install_faults(plan);
+        let st = ProvenanceStore::new(Arc::clone(&fs), "/prov/q2.nt", RdfFormat::NTriples, false)
+            .with_checksums(true)
+            .with_delta(true, 0)
+            .with_parity(true, 1);
+        for i in 0..3 {
+            st.push(triples_from(i * 4, 4), None);
+            st.flush(None);
+        }
+        st.finish(None);
+        assert_eq!(st.parity_seals(), 0);
+        assert!(st.parity_failed() >= 3, "failed seals are counted");
+        assert!(parity_files_on_disk(&fs, "/prov").is_empty());
+        // The data plane never noticed: the merge recovers everything.
+        let (g, report) = crate::merge::merge_directory(&fs, "/prov");
+        assert_eq!(g.len(), 12);
+        assert!(report.corrupt.is_empty(), "{report}");
+        assert_eq!(report.chain_breaks, 0);
     }
 }

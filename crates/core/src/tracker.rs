@@ -181,6 +181,7 @@ impl ProvTracker {
             .with_breaker(config.breaker_threshold, config.breaker_backoff_ns)
             .with_checksums(config.checksum_format)
             .with_wal(config.wal, config.wal_group)
+            .with_parity(config.parity, config.parity_group)
             .with_clock(clock.clone());
         let program_guid = GuidGen::agent("Program", program);
         let thread_guid = GuidGen::agent("Thread", &format!("{program}-rank{pid}"));

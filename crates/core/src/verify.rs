@@ -894,11 +894,17 @@ pub fn verify_directory(fs: &Arc<FileSystem>, dir: &str, key: &str) -> VerifyRep
 /// Trust artifacts stay in place: renaming a tampered manifest would erase
 /// the evidence the report points at. Returns the paths renamed.
 pub fn quarantine_tampered(fs: &Arc<FileSystem>, report: &VerifyReport) -> Vec<String> {
+    // Repair precedence: a condemned file whose parity group can still
+    // make it whole belongs to the scrub pass, not to quarantine.
+    // Quarantine is the over-tolerance fallback — renaming a repairable
+    // member would cost the group a survivor it may need.
+    let repairable = crate::scrub::repairable_paths(fs, &report.dir);
     let mut renamed = Vec::new();
     for c in &report.checks {
         if c.verdict != FileVerdict::Tampered
             || is_trust_artifact(&c.path)
             || c.path.ends_with(".quarantine")
+            || repairable.contains(&c.path)
             || !fs.exists(&c.path)
         {
             continue;
@@ -1029,6 +1035,68 @@ mod tests {
         seal_run_with_roots(&fs, "/provio", KEY, &[], &stale).unwrap();
         assert_eq!(get(&fs, "/provio/MANIFEST.provio"), slow);
         assert!(verify_directory(&fs, "/provio", KEY).is_trusted());
+    }
+
+    #[test]
+    fn repairable_tamper_is_scrubbed_not_quarantined() {
+        let fs = fs();
+        // A parity-protected store, compacted and sealed: the snapshot's
+        // parity group survives `finish` (forced seal).
+        let st = crate::store::ProvenanceStore::new(
+            Arc::clone(&fs),
+            "/provio/prov_p0.nt",
+            crate::config::RdfFormat::NTriples,
+            false,
+        )
+        .with_delta(true, 0)
+        .with_checksums(true)
+        .with_parity(true, 2);
+        for i in 0..4 {
+            st.push(
+                vec![provio_rdf::Triple::new(
+                    provio_rdf::Subject::iri(format!("urn:s{i}")),
+                    provio_rdf::Iri::new("urn:p"),
+                    provio_rdf::Term::iri("urn:o"),
+                )],
+                None,
+            );
+            st.flush(None);
+        }
+        st.finish(None);
+        seal_run(&fs, "/provio", KEY, &[RankEntry { pid: 0, degraded: false, triples: 4 }])
+            .unwrap();
+        assert!(verify_directory(&fs, "/provio", KEY).is_trusted());
+
+        // Adversary rewrites the snapshot with a CRC-patched forgery —
+        // only the manifest catches it, and parity can still repair it.
+        let snap = "/provio/prov_p0.nt";
+        let original = read_file(&fs, snap).unwrap();
+        let (forged, _) = frame::encode(
+            FrameKind::Snapshot,
+            frame::store_guid(snap),
+            0,
+            frame::CHAIN_START,
+            "<urn:evil> <urn:p> <urn:evil> .\n",
+            1,
+        );
+        put(&fs, snap, forged.as_bytes());
+        let report = verify_directory(&fs, "/provio", KEY);
+        assert_eq!(report.count(FileVerdict::Tampered), 1, "{report}");
+        // Precedence: quarantine must never fire on a repairable file.
+        assert!(quarantine_tampered(&fs, &report).is_empty());
+        assert!(fs.exists(snap), "repairable file left in place for the scrub");
+
+        // Scrub restores the sealed bytes; the file re-verifies Verified —
+        // no sticky verdict survives a successful repair.
+        let scrubbed = crate::scrub::scrub_directory(&fs, "/provio");
+        assert_eq!(scrubbed.repaired_files, vec![snap.to_string()], "{scrubbed}");
+        assert_eq!(read_file(&fs, snap).unwrap(), original, "repair is byte-identical");
+        let again = verify_directory(&fs, "/provio", KEY);
+        assert!(again.is_trusted(), "{again}");
+        assert!(again
+            .checks
+            .iter()
+            .any(|c| c.path == snap && c.verdict == FileVerdict::Verified));
     }
 
     #[test]

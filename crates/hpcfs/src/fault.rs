@@ -362,6 +362,9 @@ impl TamperKind {
 pub struct FaultRule {
     op: FaultOp,
     path_substr: Option<String>,
+    /// Path suffix filter (e.g. `".par.tmp"`), sharper than the substring
+    /// filter when artifact families share infixes.
+    path_suffix: Option<String>,
     /// Clean calls to let through before the rule becomes eligible.
     skip: u32,
     /// How many times the rule may fire (`None` = unlimited).
@@ -377,6 +380,7 @@ impl FaultRule {
         FaultRule {
             op,
             path_substr: None,
+            path_suffix: None,
             skip: 0,
             times: None,
             probability: 1.0,
@@ -389,6 +393,7 @@ impl FaultRule {
         FaultRule {
             op: FaultOp::WriteAt,
             path_substr: None,
+            path_suffix: None,
             skip: 0,
             times: None,
             probability: 1.0,
@@ -401,6 +406,7 @@ impl FaultRule {
         FaultRule {
             op,
             path_substr: None,
+            path_suffix: None,
             skip: 0,
             times: None,
             probability: 1.0,
@@ -415,6 +421,7 @@ impl FaultRule {
         FaultRule {
             op,
             path_substr: None,
+            path_suffix: None,
             skip: 0,
             times: None,
             probability: 1.0,
@@ -434,6 +441,7 @@ impl FaultRule {
         FaultRule {
             op,
             path_substr: None,
+            path_suffix: None,
             skip: 0,
             times: None,
             probability: 1.0,
@@ -452,6 +460,14 @@ impl FaultRule {
     /// Only fire on paths containing `substr`.
     pub fn on_path(mut self, substr: impl Into<String>) -> Self {
         self.path_substr = Some(substr.into());
+        self
+    }
+
+    /// Only fire on paths ending in `suffix` — e.g. `".par.tmp"` to damage
+    /// a parity seal in flight without touching the store commits whose
+    /// paths contain the same infix. Composes with [`Self::on_path`].
+    pub fn on_suffix(mut self, suffix: impl Into<String>) -> Self {
+        self.path_suffix = Some(suffix.into());
         self
     }
 
@@ -480,6 +496,10 @@ impl FaultRule {
                 .path_substr
                 .as_deref()
                 .is_none_or(|s| path.contains(s))
+            && self
+                .path_suffix
+                .as_deref()
+                .is_none_or(|s| path.ends_with(s))
     }
 }
 
@@ -592,6 +612,21 @@ mod tests {
         assert_eq!(
             plan.decide(FaultOp::Rename, "/provio/prov_p3.nt.tmp"),
             Some(FaultAction::Fail(FsError::NoSpace))
+        );
+    }
+
+    #[test]
+    fn suffix_filter_hits_only_ends_of_paths() {
+        let plan = FaultPlan::new(7);
+        plan.add_rule(FaultRule::fail(FaultOp::WriteAt, FsError::Io).on_suffix(".par.tmp"));
+        // The infix appears mid-path: no match.
+        assert_eq!(plan.decide(FaultOp::WriteAt, "/p/a.par.tmp.backup"), None);
+        // The store commit sharing the directory: no match.
+        assert_eq!(plan.decide(FaultOp::WriteAt, "/p/prov_p0.nt.tmp"), None);
+        // The in-flight parity seal: match.
+        assert_eq!(
+            plan.decide(FaultOp::WriteAt, "/p/prov_p0.nt.p000003.par.tmp"),
+            Some(FaultAction::Fail(FsError::Io))
         );
     }
 

@@ -388,3 +388,210 @@ fn renamed_files_keep_matching_path_rules() {
         "rule follows the inode to its new path"
     );
 }
+
+/// Self-healing property over the parity-protected store: the filesystem's
+/// at-rest damage primitives (rot and deletion) are exercised against the
+/// store's XOR parity groups, and `scrub` must restore any single loss per
+/// group *byte-identically* — or, beyond tolerance, refuse to guess and
+/// report exactly what was lost.
+mod parity_scrub {
+    use super::*;
+    use provio::{merge_directory, repairable_paths, scrub_directory, ProvenanceStore, RdfFormat};
+    use provio_hpcfs::CorruptKind;
+    use provio_rdf::{ntriples, Graph, Iri, Subject, Term, Triple};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn triples(start: usize, n: usize) -> Vec<Triple> {
+        (start..start + n)
+            .map(|i| {
+                Triple::new(
+                    Subject::iri(format!("urn:s{i}")),
+                    Iri::new("urn:p"),
+                    Term::iri("urn:o"),
+                )
+            })
+            .collect()
+    }
+
+    fn lines(g: &Graph) -> BTreeSet<String> {
+        ntriples::serialize(g)
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// A checksummed, parity-protected store left uncompacted: snapshot +
+    /// delta segments with their sealed `.par` groups still on disk.
+    fn build_parity_store(fs: &Arc<FileSystem>, group: u32) {
+        let st = ProvenanceStore::new(
+            Arc::clone(fs),
+            "/prov/prov_p0.nt".to_string(),
+            RdfFormat::NTriples,
+            false,
+        )
+        .with_checksums(true)
+        .with_delta(true, 0)
+        .with_parity(true, group);
+        for flush in 0..4 {
+            st.push(triples(flush * 16, 16), None);
+            st.flush(None);
+        }
+    }
+
+    fn image(fs: &Arc<FileSystem>) -> BTreeMap<String, Vec<u8>> {
+        fs.walk_files("/prov")
+            .unwrap()
+            .into_iter()
+            .map(|p| {
+                let ino = fs.lookup(&p).unwrap();
+                let n = fs.stat(&p).unwrap().size;
+                let bytes = fs.read_at(ino, 0, n).unwrap().to_vec();
+                (p, bytes)
+            })
+            .collect()
+    }
+
+    /// Member paths recorded by one parity file (whole-file members only —
+    /// this store has no journal plane).
+    fn group_members(fs: &Arc<FileSystem>, par: &str) -> Vec<String> {
+        let ino = fs.lookup(par).unwrap();
+        let n = fs.stat(par).unwrap().size;
+        let text = String::from_utf8(fs.read_at(ino, 0, n).unwrap().to_vec()).unwrap();
+        text.lines()
+            .filter_map(|l| l.split_once("path=").map(|(_, p)| p.to_string()))
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any single covered artifact — snapshot, delta segment, or the
+        /// parity file itself — damaged or deleted, is restored to the
+        /// exact sealed bytes (a damaged parity file regenerates, a rotted
+        /// member reconstructs, and only a destroyed member *batch* may
+        /// honestly cost redundancy — never data).
+        #[test]
+        fn single_loss_per_group_restores_byte_identical(
+            seed in any::<u64>(),
+            group in 1u32..4,
+            pick in any::<prop::sample::Index>(),
+            delete in any::<bool>(),
+        ) {
+            let fs = FileSystem::new(LustreConfig::default());
+            build_parity_store(&fs, group);
+            let before = image(&fs);
+            let (baseline, _) = merge_directory(&fs, "/prov");
+            let baseline_lines = lines(&baseline);
+
+            let mut covered: Vec<String> =
+                repairable_paths(&fs, "/prov").into_iter().collect();
+            covered.sort();
+            prop_assert!(!covered.is_empty());
+            let victim = covered[pick.index(covered.len())].clone();
+            let is_par = victim.ends_with(".par");
+            if delete {
+                fs.unlink(&victim).unwrap();
+            } else {
+                fs.corrupt_at_rest(&victim, &CorruptKind::BitFlips { count: 1 }, seed)
+                    .unwrap();
+            }
+
+            let report = scrub_directory(&fs, "/prov");
+            let healed = image(&fs);
+            if is_par && delete {
+                // A deleted parity file takes its member records with it:
+                // the group is no longer discoverable, so nothing can (or
+                // should) be rebuilt — and nothing else may be touched.
+                prop_assert!(report.is_clean(), "{}", report);
+                for (path, bytes) in &before {
+                    if path != &victim {
+                        prop_assert_eq!(healed.get(path), Some(bytes), "{}", path);
+                    }
+                }
+            } else if is_par {
+                // A rotted parity file either regenerates byte-identical
+                // (the member records survived) or is honestly declared
+                // unusable (the flip landed in the member batch) — and in
+                // both cases every data artifact is untouched.
+                let regenerated = report.repaired_parity.contains(&victim);
+                let written_off = report.unusable_parity.contains(&victim);
+                prop_assert!(regenerated || written_off, "{}", report);
+                prop_assert!(report.unrecoverable.is_empty(), "{}", report);
+                for (path, bytes) in &before {
+                    if regenerated || path != &victim {
+                        prop_assert_eq!(healed.get(path), Some(bytes), "{}", path);
+                    }
+                }
+            } else {
+                // A lost or rotted member reconstructs exactly.
+                prop_assert!(
+                    report.repaired_files.contains(&victim),
+                    "victim {} not repaired (delete={}): {}",
+                    victim, delete, report
+                );
+                for (path, bytes) in &before {
+                    prop_assert_eq!(healed.get(path), Some(bytes), "{}", path);
+                }
+            }
+
+            let (merged, mrep) = merge_directory(&fs, "/prov");
+            prop_assert_eq!(lines(&merged), baseline_lines);
+            prop_assert!(mrep.corrupt.is_empty() && mrep.quarantined.is_empty());
+        }
+
+        /// Two members lost in the *same* group exceed XOR tolerance: scrub
+        /// must refuse to fabricate bytes, report exactly the lost pair,
+        /// leave every surviving file untouched, and hand the loss to the
+        /// merge tier's accounting (missing sub-graphs, never forgeries).
+        #[test]
+        fn double_loss_in_one_group_is_reported_not_guessed(
+            seed in any::<u64>(),
+            group in 2u32..4,
+            pair in any::<prop::sample::Index>(),
+        ) {
+            let fs = FileSystem::new(LustreConfig::default());
+            build_parity_store(&fs, group);
+            let before = image(&fs);
+            let (baseline, _) = merge_directory(&fs, "/prov");
+            let baseline_lines = lines(&baseline);
+
+            let mut pars: Vec<String> = fs
+                .walk_files("/prov")
+                .unwrap()
+                .into_iter()
+                .filter(|p| p.ends_with(".par"))
+                .collect();
+            pars.sort();
+            let full: Vec<(String, Vec<String>)> = pars
+                .iter()
+                .map(|p| (p.clone(), group_members(&fs, p)))
+                .filter(|(_, m)| m.len() >= 2)
+                .collect();
+            prop_assert!(!full.is_empty(), "a multi-member group exists at width {}", group);
+            let (_, members) = &full[pair.index(full.len())];
+            let a = members[0].clone();
+            let b = members[1].clone();
+            fs.unlink(&a).unwrap();
+            fs.corrupt_at_rest(&b, &CorruptKind::ZeroFill, seed).unwrap();
+
+            let report = scrub_directory(&fs, "/prov");
+            let mut lost = report.unrecoverable.clone();
+            lost.sort();
+            let mut expect = vec![a.clone(), b.clone()];
+            expect.sort();
+            prop_assert_eq!(lost, expect, "{}", report);
+            prop_assert!(report.repaired_files.is_empty(), "no partial guesses: {}", report);
+            let healed = image(&fs);
+            for (path, bytes) in &before {
+                if path != &a && path != &b {
+                    prop_assert_eq!(healed.get(path), Some(bytes), "{}", path);
+                }
+            }
+
+            // PR 4/5 loss accounting takes over: the merge shrinks (or at
+            // worst flags damage); it never invents triples.
+            let (merged, _) = merge_directory(&fs, "/prov");
+            prop_assert!(lines(&merged).is_subset(&baseline_lines));
+        }
+    }
+}

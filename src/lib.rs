@@ -67,9 +67,10 @@ pub use provio_workflows as workflows;
 pub mod prelude {
     pub use provio::engine::{to_dot, IoStats};
     pub use provio::{
-        doctor, merge_directory, quarantine_tampered, verify_directory, BreakerState,
-        DoctorReport, FileCheck, FileVerdict, OverloadPolicy, ProvIoApi, ProvIoConfig,
-        ProvIoVol, ProvQueryEngine, ProvenanceStore, RankCrash, RetryPolicy, RunReport,
+        doctor, merge_directory, merge_directory_with_threads, quarantine_tampered,
+        repairable_paths, scrub_directory, verify_directory, BreakerState, DoctorReport,
+        FileCheck, FileVerdict, OverloadPolicy, ProvIoApi, ProvIoConfig, ProvIoVol,
+        ProvQueryEngine, ProvenanceStore, RankCrash, RetryPolicy, RunReport, ScrubReport,
         SerializationPolicy, TrackerRegistry, VerifyReport,
     };
     pub use provio_hdf5::{Data, Dataspace, Datatype, Hyperslab, H5};

@@ -107,3 +107,41 @@ fn bad_config_rejected_before_workflow_start() {
     assert!(ProvIoConfig::from_ini("preset = everything_and_more").is_err());
     assert!(ProvIoConfig::from_ini("policy = every:not_a_number").is_err());
 }
+
+#[test]
+fn parity_misconfiguration_rejected_before_workflow_start() {
+    // A zero-width group would seal a parity file per commit member with
+    // nothing to XOR against — reject it like `wal_group = 0`.
+    let err = ProvIoConfig::from_ini("[store]\nparity_group = 0\n").unwrap_err();
+    assert!(err.contains("parity_group"), "{err}");
+    // Parity reconstruction verifies against recorded CRCs; without the
+    // checksummed frame format there is nothing to verify repairs against.
+    let err = ProvIoConfig::from_ini("[store]\nparity = true\n").unwrap_err();
+    assert!(err.contains("checksum_format"), "{err}");
+    // Key order in the file must not matter (cross-key check runs after
+    // the whole file parses).
+    assert!(
+        ProvIoConfig::from_ini("[store]\nparity = true\nchecksum_format = false\n").is_err()
+    );
+    assert!(
+        ProvIoConfig::from_ini("[store]\nchecksum_format = true\nparity = true\n").is_ok()
+    );
+}
+
+#[test]
+fn parity_enabled_by_config_file_alone() {
+    // Transparency extends to redundancy: parity files appear (and protect
+    // the store) with zero workflow-source changes.
+    let (cluster, _, store_dir) = run_with_config(
+        "[provio]\npreset = all\nstore_dir = /prov_par\nformat = ntriples\npolicy = every:1\n\
+         [store]\nchecksum_format = true\ndelta_segments = true\nparity = true\nparity_group = 2\n",
+    );
+    let files = cluster.fs.walk_files(&store_dir).unwrap();
+    assert!(
+        files.iter().any(|f| f.ends_with(".par")),
+        "parity files sealed from config alone: {files:?}"
+    );
+    let report = scrub_directory(&cluster.fs, &store_dir);
+    assert!(report.is_clean(), "fresh run scrubs clean: {report}");
+    assert!(report.groups > 0);
+}

@@ -7,17 +7,40 @@
 //! order, and worker panics are propagated to the caller like rayon does.
 
 use std::any::Any;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
 }
 
+/// Explicit pool-size override (0 = size from `available_parallelism`).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force subsequent parallel calls to split across `n` worker threads,
+/// regardless of `available_parallelism`. On hosts that report one core
+/// the default sizing degenerates every `par_iter` to a sequential loop,
+/// which starves I/O-bound workloads that would still overlap; callers
+/// that know their workload can opt into a real pool. Pass 0 to restore
+/// the automatic sizing.
+pub fn set_thread_count(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The pool size the next parallel call would use for `items` work items.
+pub fn current_thread_count(items: usize) -> usize {
+    thread_count(items)
+}
+
 fn thread_count(items: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items)
-        .max(1)
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    let base = if forced > 0 {
+        forced
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    base.min(items).max(1)
 }
 
 /// Order-preserving parallel evaluation of `f` over `0..n`.
@@ -176,6 +199,25 @@ mod tests {
         let input: Vec<u8> = Vec::new();
         let out: Vec<u8> = input.par_iter().map(|v| *v).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_override_beats_available_parallelism() {
+        // The override must win in both directions: forcing a pool wider
+        // than the host report, and forcing sequential on a wide host.
+        crate::set_thread_count(4);
+        assert_eq!(crate::current_thread_count(1000), 4);
+        crate::set_thread_count(1);
+        assert_eq!(crate::current_thread_count(1000), 1);
+        crate::set_thread_count(0); // restore automatic sizing
+        let auto = crate::current_thread_count(1000);
+        assert!(auto >= 1);
+        // Work still splits correctly under a forced pool.
+        crate::set_thread_count(3);
+        let input: Vec<u32> = (0..100).collect();
+        let out: Vec<u32> = input.par_iter().map(|v| v + 1).collect();
+        assert_eq!(out, (1..=100).collect::<Vec<u32>>());
+        crate::set_thread_count(0);
     }
 
     #[test]
