@@ -6,6 +6,7 @@
 //! INI-style parser loads it from a file on the simulated file system.
 
 use provio_model::{ClassSelector, TrackItem};
+use provio_simrt::DetRng;
 use std::sync::Arc;
 
 /// On-disk RDF format of per-process sub-graph files.
@@ -37,6 +38,15 @@ pub struct RetryPolicy {
     pub max_attempts: u32,
     /// Base backoff before the first retry; doubles per retry.
     pub backoff_ns: u64,
+    /// Decorrelate retry delays across ranks (`retry_jitter` ini knob).
+    /// When a shared episode — one sick OST returning ENOSPC to every
+    /// rank at once — trips N writers together, pure exponential backoff
+    /// has them all retry in lockstep at the same instants, re-creating
+    /// the overload they are backing off from. With jitter on, each delay
+    /// is drawn from `[backoff_ns, 3 * previous_delay)` (AWS-style
+    /// "decorrelated jitter") seeded per store, so retry times spread out
+    /// while the mean still grows exponentially.
+    pub jitter: bool,
 }
 
 impl Default for RetryPolicy {
@@ -44,6 +54,7 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 3,
             backoff_ns: 1_000_000,
+            jitter: false,
         }
     }
 }
@@ -54,6 +65,26 @@ impl RetryPolicy {
     pub fn backoff_for(self, failures: u32) -> u64 {
         let shift = failures.saturating_sub(1).min(20);
         self.backoff_ns.saturating_mul(1u64 << shift)
+    }
+
+    /// The largest delay either backoff flavor will produce (the
+    /// exponential curve's saturation point).
+    pub fn backoff_cap(self) -> u64 {
+        self.backoff_ns.saturating_mul(1 << 20)
+    }
+
+    /// Decorrelated-jitter delay: uniform in `[backoff_ns, 3 * prev)`,
+    /// clamped to [`Self::backoff_cap`], where `prev` is the delay used
+    /// before the previous retry (start it at `backoff_ns`). Each store
+    /// draws from its own seeded stream, so two ranks tripped by the same
+    /// episode stop retrying in lockstep while the expected delay still
+    /// grows geometrically.
+    pub fn jittered_backoff(self, prev: u64, rng: &mut DetRng) -> u64 {
+        let lo = self.backoff_ns.max(1);
+        let hi = prev
+            .saturating_mul(3)
+            .clamp(lo.saturating_add(1), self.backoff_cap().max(lo + 1));
+        lo + rng.below(hi - lo)
     }
 }
 
@@ -429,6 +460,11 @@ impl ProvIoConfig {
                         .parse()
                         .map_err(|_| format!("line {}: bad integer", lineno + 1))?
                 }
+                "retry_jitter" => {
+                    cfg.retry.jitter = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad bool", lineno + 1))?
+                }
                 "delta_segments" => {
                     cfg.delta_segments = value
                         .parse()
@@ -684,7 +720,60 @@ mod tests {
         assert_eq!(c.retry.backoff_for(2), 2000);
         assert_eq!(c.retry.backoff_for(3), 4000);
         // Saturates instead of overflowing for absurd failure counts.
-        assert!(RetryPolicy { max_attempts: 2, backoff_ns: u64::MAX }.backoff_for(40) > 0);
+        let absurd = RetryPolicy {
+            max_attempts: 2,
+            backoff_ns: u64::MAX,
+            ..RetryPolicy::default()
+        };
+        assert!(absurd.backoff_for(40) > 0);
+    }
+
+    #[test]
+    fn retry_jitter_knob_from_ini() {
+        assert!(!ProvIoConfig::default().retry.jitter, "off by default");
+        let c = ProvIoConfig::from_ini("retry_jitter = true\n").unwrap();
+        assert!(c.retry.jitter);
+        let c = ProvIoConfig::from_ini("retry_jitter = false\n").unwrap();
+        assert!(!c.retry.jitter);
+        assert!(ProvIoConfig::from_ini("retry_jitter = perhaps").is_err());
+    }
+
+    #[test]
+    fn decorrelated_jitter_bounds_determinism_and_divergence() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            backoff_ns: 1000,
+            jitter: true,
+        };
+        // Every draw lands in [base, max(3*prev, base+1)), never past the cap.
+        let mut rng = DetRng::new(7);
+        let mut prev = p.backoff_ns;
+        for _ in 0..200 {
+            let d = p.jittered_backoff(prev, &mut rng);
+            assert!(d >= p.backoff_ns);
+            assert!(d < prev.saturating_mul(3).max(p.backoff_ns + 1));
+            assert!(d <= p.backoff_cap());
+            prev = d;
+        }
+        // Same seed, same delay sequence — the schedule is reproducible.
+        let draws = |seed: u64| -> Vec<u64> {
+            let mut rng = DetRng::new(seed);
+            let mut prev = p.backoff_ns;
+            (0..8)
+                .map(|_| {
+                    prev = p.jittered_backoff(prev, &mut rng);
+                    prev
+                })
+                .collect()
+        };
+        assert_eq!(draws(42), draws(42));
+        // Different seeds (different stores) decorrelate: the point of the
+        // knob is that N ranks don't retry in lockstep.
+        assert_ne!(draws(42), draws(43));
+        // Degenerate base of 0 still makes progress and never panics.
+        let z = RetryPolicy { max_attempts: 2, backoff_ns: 0, jitter: true };
+        let mut rng = DetRng::new(1);
+        assert!(z.jittered_backoff(0, &mut rng) >= 1);
     }
 
     #[test]

@@ -28,9 +28,11 @@
 pub mod api;
 pub mod config;
 pub mod connector;
+pub mod crashcheck;
 pub mod engine;
 pub mod frame;
 pub mod merge;
+pub mod recover;
 pub mod report;
 pub mod scrub;
 pub mod store;
@@ -41,9 +43,13 @@ pub mod wrapper;
 pub use api::ProvIoApi;
 pub use config::{OverloadPolicy, ProvIoConfig, RdfFormat, RetryPolicy, SerializationPolicy};
 pub use connector::ProvIoVol;
+pub use crashcheck::{
+    crashcheck, record_workload, CrashcheckConfig, CrashcheckReport, RecordedWorkload, Violation,
+};
 pub use engine::ProvQueryEngine;
 pub use frame::{store_guid, FrameKind, FramedFile};
 pub use merge::{merge_directory, merge_directory_sequential, merge_directory_with_threads};
+pub use recover::{recover_all, RecoveryOutcome};
 pub use report::{doctor, DoctorReport, RankCrash, RunReport};
 pub use scrub::{repairable_paths, scrub_directory, ScrubReport};
 pub use store::{BreakerState, ProvenanceStore};

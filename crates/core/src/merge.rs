@@ -260,6 +260,9 @@ fn process_file(fs: &Arc<FileSystem>, path: &str, committed: &HashSet<&str>) -> 
                 truncated: true,
             };
         }
+        if adopted_tmp {
+            return Outcome::Skipped; // crash debris, see below
+        }
         return Outcome::Corrupt;
     };
     if is_wal {
@@ -273,6 +276,9 @@ fn process_file(fs: &Arc<FileSystem>, path: &str, committed: &HashSet<&str>) -> 
     match frame::decode(&text) {
         Ok(framed) => {
             if framed.guid != frame::store_guid(path) {
+                if adopted_tmp {
+                    return Outcome::Skipped; // crash debris, see below
+                }
                 // The file's own checksums verify, but it belongs to a
                 // different store: substituted or misplaced.
                 return Outcome::Quarantine { substituted: true };
@@ -297,6 +303,17 @@ fn process_file(fs: &Arc<FileSystem>, path: &str, committed: &HashSet<&str>) -> 
             };
         }
         Err(frame::FrameError::Quarantine(_)) => {
+            if adopted_tmp {
+                // An orphan tmp that fails identity is crash debris, not
+                // tamper evidence: the rename that would have committed it
+                // never ran, so it was never acknowledged and the frames it
+                // tore are still covered by the journal. Quarantining it
+                // would brand a pure crash as corruption — and mutate the
+                // directory, breaking recovery idempotence (found by
+                // crashcheck, tests/crashcheck.rs). Leave it in place,
+                // unparsed; every later merge skips it the same way.
+                return Outcome::Skipped;
+            }
             return Outcome::Quarantine { substituted: false };
         }
         Err(frame::FrameError::NotFramed) => {} // legacy file: fall through
@@ -306,6 +323,9 @@ fn process_file(fs: &Arc<FileSystem>, path: &str, committed: &HashSet<&str>) -> 
     }
     let sub = salvage(format, &text);
     if sub.is_empty() {
+        if adopted_tmp {
+            return Outcome::Skipped; // crash debris, see above
+        }
         return Outcome::Corrupt;
     }
     Outcome::Salvaged { sub, adopted_tmp }

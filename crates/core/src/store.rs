@@ -117,7 +117,7 @@ use crate::scrub::{self, MemberCheck, ParityMember};
 use parking_lot::{Condvar, Mutex};
 use provio_hpcfs::{FileSystem, FsError, Ino};
 use provio_rdf::{ntriples, turtle, Graph, Namespaces, Term, TermId, Triple};
-use provio_simrt::{ChargeGuard, SimDuration, SimTime, VirtualClock};
+use provio_simrt::{ChargeGuard, DetRng, SimDuration, SimTime, VirtualClock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -125,6 +125,10 @@ use std::sync::Arc;
 /// Default compaction threshold when none is configured (matches
 /// `ProvIoConfig::default().compact_every`).
 pub const DEFAULT_COMPACT_EVERY: u32 = 64;
+
+/// RNG stream for decorrelated retry jitter, carved out of the store GUID
+/// so backoff draws never perturb any workload or fault stream.
+const RETRY_JITTER_STREAM: u64 = 0x4E77;
 
 /// The shared background writer pool.
 mod pool {
@@ -318,6 +322,9 @@ struct IoState {
     tmp_path: String,
     format: RdfFormat,
     retry: RetryPolicy,
+    /// Per-store stream for decorrelated retry jitter (seeded from the
+    /// store GUID, so N ranks' delays diverge deterministically).
+    retry_rng: DetRng,
     /// Last flush failed permanently; the in-memory graph is still intact.
     degraded: bool,
     /// A crash point fired mid-flush: this writer's process is dead. No
@@ -529,6 +536,7 @@ impl IoState {
         charge: Option<&VirtualClock>,
     ) -> bool {
         let mut failures = 0u32;
+        let mut prev_delay = self.retry.backoff_ns;
         loop {
             match self.try_commit(tmp, dst, bytes) {
                 Ok(()) => {
@@ -549,10 +557,19 @@ impl IoState {
                     failures += 1;
                     self.last_error = Some(e);
                     if e.is_transient() && failures < self.retry.max_attempts {
+                        // Jitter draws from the store's own seeded stream,
+                        // so ranks tripped by one shared episode spread out
+                        // instead of retrying in lockstep.
+                        let delay = if self.retry.jitter {
+                            prev_delay = self
+                                .retry
+                                .jittered_backoff(prev_delay, &mut self.retry_rng);
+                            prev_delay
+                        } else {
+                            self.retry.backoff_for(failures)
+                        };
                         if let Some(clock) = charge {
-                            clock.advance(SimDuration::from_nanos(
-                                self.retry.backoff_for(failures),
-                            ));
+                            clock.advance(SimDuration::from_nanos(delay));
                         }
                         continue;
                     }
@@ -679,6 +696,19 @@ impl IoState {
             return;
         }
         self.wal_buf.clear();
+        // Journal-plane parity referenced the retiring generation's chunks;
+        // it retires *first*, mirroring the commit plane's invalidate-
+        // before-unlink order. A crash between the unlinks must never
+        // leave parity describing members that are already gone: scrub
+        // would read the orphaned group as unrecoverable loss — or, for a
+        // single-chunk group, "repair" the retired generation back into
+        // existence (found by crashcheck, tests/crashcheck.rs).
+        for p in std::mem::take(&mut self.wal_parity_files) {
+            let _ = self.fs.unlink(&p);
+            self.roots.remove(&p);
+        }
+        self.wal_parity_acc.clear();
+        self.wal_parity_members.clear();
         if self.wal_ino.take().is_some() {
             let _ = self.fs.unlink(&wal_path(&self.path, self.wal_gen));
             self.wal_recycles += 1;
@@ -686,14 +716,6 @@ impl IoState {
         self.wal_gen += 1;
         self.wal_len = 0;
         self.wal_chain = frame::CHAIN_START;
-        // Journal-plane parity referenced the retired generation's chunks;
-        // it retires with them.
-        for p in std::mem::take(&mut self.wal_parity_files) {
-            let _ = self.fs.unlink(&p);
-            self.roots.remove(&p);
-        }
-        self.wal_parity_acc.clear();
-        self.wal_parity_members.clear();
     }
 
     /// Parity is only live over framed commits: member records pin each
@@ -1111,6 +1133,7 @@ impl ProvenanceStore {
             tmp_path: format!("{path}.tmp"),
             format,
             retry: RetryPolicy::default(),
+            retry_rng: DetRng::with_stream(frame::store_guid(&path), RETRY_JITTER_STREAM),
             degraded: false,
             crashed: false,
             dropped_flushes: 0,
@@ -1621,6 +1644,7 @@ mod tests {
             .with_retry(RetryPolicy {
                 max_attempts: 3,
                 backoff_ns: 1_000,
+                ..RetryPolicy::default()
             });
         st.push(triples(7), None);
         let clock = VirtualClock::new();
@@ -1645,6 +1669,7 @@ mod tests {
             .with_retry(RetryPolicy {
                 max_attempts: 2,
                 backoff_ns: 0,
+                ..RetryPolicy::default()
             });
         st.push(triples(5), None);
         assert_eq!(st.finish(None), 0);
@@ -1797,6 +1822,7 @@ mod tests {
             .with_retry(RetryPolicy {
                 max_attempts: 1,
                 backoff_ns: 0,
+                ..RetryPolicy::default()
             });
         st.push(triples_from(0, 2), None);
         st.flush(None); // snapshot
@@ -1929,6 +1955,7 @@ mod tests {
             .with_retry(RetryPolicy {
                 max_attempts: 1,
                 backoff_ns: 0,
+                ..RetryPolicy::default()
             });
         st.push(triples_from(0, 2), None);
         st.flush(None); // ordinal 0 committed
@@ -2106,6 +2133,7 @@ mod tests {
             .with_retry(RetryPolicy {
                 max_attempts: 1,
                 backoff_ns: 0,
+                ..RetryPolicy::default()
             })
             .with_breaker(2, 1_000)
             .with_clock(clock.clone());
@@ -2144,6 +2172,7 @@ mod tests {
             .with_retry(RetryPolicy {
                 max_attempts: 1,
                 backoff_ns: 0,
+                ..RetryPolicy::default()
             })
             .with_breaker(1, 1_000)
             .with_clock(clock.clone());
@@ -2171,6 +2200,7 @@ mod tests {
             .with_retry(RetryPolicy {
                 max_attempts: 1,
                 backoff_ns: 0,
+                ..RetryPolicy::default()
             })
             .with_breaker(1, u64::MAX / 2)
             .with_clock(clock.clone());

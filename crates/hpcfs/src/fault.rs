@@ -29,6 +29,9 @@ pub enum FaultOp {
     WriteAt,
     Rename,
     TruncateIno,
+    /// `unlink(2)` — armed so recovery-time cleanup (quarantine removal,
+    /// WAL recycling) is as crashable as the write path it cleans up after.
+    Unlink,
     /// Data-path reads; the only op where [`FaultAction::Corrupt`] mutates
     /// the bytes handed back instead of the bytes on media.
     ReadAt,

@@ -10,6 +10,7 @@ use crate::content::FileContent;
 use crate::error::{FsError, FsResult};
 use crate::fault::{CorruptKind, FaultAction, FaultOp, FaultPlan, TamperKind};
 use crate::lustre::LustreConfig;
+use crate::trace::{OpTrace, TraceOp};
 use parking_lot::{Mutex, RwLock};
 use provio_simrt::{DetRng, SimDuration, SimTime, VirtualClock};
 use std::collections::{BTreeMap, HashMap};
@@ -123,6 +124,9 @@ pub struct FileSystem {
     /// Clock that [`FaultAction::Delay`] stalls are charged to, when one is
     /// attached. Time charging otherwise stays in the session layer.
     clock: RwLock<Option<VirtualClock>>,
+    /// Attached syscall trace for crashcheck, if any (see [`crate::trace`]).
+    /// Successful mutating operations are recorded in issue order.
+    tracer: RwLock<Option<Arc<OpTrace>>>,
 }
 
 impl FileSystem {
@@ -148,6 +152,7 @@ impl FileSystem {
             faults: RwLock::new(None),
             ino_paths: Mutex::new(HashMap::new()),
             clock: RwLock::new(None),
+            tracer: RwLock::new(None),
         })
     }
 
@@ -182,6 +187,28 @@ impl FileSystem {
     /// Detach the delay clock; stalls become counted no-ops again.
     pub fn detach_clock(&self) {
         *self.clock.write() = None;
+    }
+
+    // --- syscall tracing -------------------------------------------------
+
+    /// Attach an operation trace; every subsequent successful mutating
+    /// operation (create/write/rename/unlink/truncate) is recorded for
+    /// crash-state enumeration (see [`crate::trace`]).
+    pub fn attach_tracer(&self, trace: Arc<OpTrace>) {
+        *self.tracer.write() = Some(trace);
+    }
+
+    /// Detach the operation trace; recording stops.
+    pub fn detach_tracer(&self) {
+        *self.tracer.write() = None;
+    }
+
+    /// Record `op` on the attached trace, if any. Called only after the
+    /// operation has fully succeeded, so the trace replays cleanly.
+    fn trace_op(&self, op: impl FnOnce() -> TraceOp) {
+        if let Some(t) = self.tracer.read().as_ref() {
+            t.record(op());
+        }
     }
 
     /// Serve a fired [`FaultAction::Delay`]: advance the attached clock (if
@@ -297,6 +324,7 @@ impl FileSystem {
         }
         let ino = self.create_file_inner(path, excl, owner, now)?;
         self.ino_paths.lock().insert(ino, path.to_string());
+        self.trace_op(|| TraceOp::Create { path: path.to_string() });
         Ok(ino)
     }
 
@@ -402,6 +430,21 @@ impl FileSystem {
     }
 
     pub fn unlink(&self, path: &str) -> FsResult<()> {
+        match self.fault_decision(FaultOp::Unlink, path) {
+            Some(FaultAction::Fail(e)) => return Err(e),
+            Some(FaultAction::TornWrite { .. }) => return Err(FsError::Io),
+            Some(FaultAction::Crash { .. }) => return Err(FsError::Crashed),
+            // An unlink moves no data to corrupt; degrade to a media error.
+            Some(FaultAction::Corrupt(_)) => return Err(FsError::Io),
+            Some(FaultAction::Delay { ns }) => self.stall(ns),
+            None => {}
+        }
+        self.unlink_inner(path)?;
+        self.trace_op(|| TraceOp::Unlink { path: path.to_string() });
+        Ok(())
+    }
+
+    fn unlink_inner(&self, path: &str) -> FsResult<()> {
         let mut inner = self.inner.write();
         let (parent, name) = Self::resolve_parent(&inner, path)?;
         let pdir = inner
@@ -471,6 +514,10 @@ impl FileSystem {
         }
         let ino = self.rename_inner(old, new, now)?;
         self.ino_paths.lock().insert(ino, new.to_string());
+        self.trace_op(|| TraceOp::Rename {
+            old: old.to_string(),
+            new: new.to_string(),
+        });
         Ok(())
     }
 
@@ -714,7 +761,13 @@ impl FileSystem {
             Some(FaultAction::Delay { ns }) => self.stall(ns),
             None => {}
         }
-        self.write_at_inner(ino, offset, data, now)
+        self.write_at_inner(ino, offset, data, now)?;
+        self.trace_op(|| TraceOp::WriteAt {
+            path: self.ino_path(ino),
+            offset,
+            data: data.to_vec(),
+        });
+        Ok(())
     }
 
     fn write_at_inner(&self, ino: Ino, offset: u64, data: &[u8], now: SimTime) -> FsResult<()> {
@@ -749,10 +802,16 @@ impl FileSystem {
             Some(FaultAction::Delay { ns }) => self.stall(ns),
             None => {}
         }
-        let mut inner = self.inner.write();
-        let n = inner.inodes.get_mut(&ino).ok_or(FsError::BadFd)?;
-        n.as_file_mut()?.truncate(size);
-        n.mtime = now;
+        {
+            let mut inner = self.inner.write();
+            let n = inner.inodes.get_mut(&ino).ok_or(FsError::BadFd)?;
+            n.as_file_mut()?.truncate(size);
+            n.mtime = now;
+        }
+        self.trace_op(|| TraceOp::Truncate {
+            path: self.ino_path(ino),
+            size,
+        });
         Ok(())
     }
 

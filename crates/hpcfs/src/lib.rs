@@ -28,6 +28,7 @@ pub mod fs;
 pub mod lustre;
 pub mod session;
 pub mod syscall;
+pub mod trace;
 
 pub use content::FileContent;
 pub use error::{FsError, FsResult};
@@ -36,3 +37,7 @@ pub use fs::{FileKind, FileSystem, Ino, Metadata};
 pub use lustre::LustreConfig;
 pub use session::{Fd, FsSession, OpenFlags, Whence};
 pub use syscall::{Dispatcher, SyscallEvent, SyscallHook, SyscallKind};
+pub use trace::{
+    apply_prefix, describe_state, enumerate_crash_states, reconstruct, repro_plan, CrashState,
+    CrashVariant, OpTrace, TraceOp,
+};

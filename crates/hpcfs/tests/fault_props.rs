@@ -36,14 +36,19 @@ proptest! {
     /// truncate, at most the torn prefix for write.
     #[test]
     fn crash_points_never_mutate_beyond_declared_prefix(
-        op_pick in 0u8..4,
+        op_pick in 0u8..5,
         has_torn in any::<bool>(),
         keep_raw in 0u64..64,
         len in 1usize..256,
     ) {
         let torn_keep = if has_torn { Some(keep_raw) } else { None };
-        let op = [FaultOp::CreateFile, FaultOp::WriteAt, FaultOp::Rename, FaultOp::TruncateIno]
-            [op_pick as usize];
+        let op = [
+            FaultOp::CreateFile,
+            FaultOp::WriteAt,
+            FaultOp::Rename,
+            FaultOp::TruncateIno,
+            FaultOp::Unlink,
+        ][op_pick as usize];
         let fs = FileSystem::new(LustreConfig::default());
         let data = payload(len);
         // Pre-existing committed state the crash must not disturb.
@@ -95,6 +100,10 @@ proptest! {
                     Err(FsError::Crashed)
                 );
                 prop_assert_eq!(fs.file_size(ino).unwrap(), len as u64, "size unchanged");
+            }
+            FaultOp::Unlink => {
+                prop_assert_eq!(fs.unlink("/old"), Err(FsError::Crashed));
+                prop_assert!(fs.exists("/old"), "victim still in place");
             }
             FaultOp::ReadAt => unreachable!("op_pick only draws mutating ops"),
         }

@@ -67,16 +67,17 @@ pub use provio_workflows as workflows;
 pub mod prelude {
     pub use provio::engine::{to_dot, IoStats};
     pub use provio::{
-        doctor, merge_directory, merge_directory_with_threads, quarantine_tampered,
-        repairable_paths, scrub_directory, verify_directory, BreakerState, DoctorReport,
-        FileCheck, FileVerdict, OverloadPolicy, ProvIoApi, ProvIoConfig, ProvIoVol,
-        ProvQueryEngine, ProvenanceStore, RankCrash, RetryPolicy, RunReport, ScrubReport,
-        SerializationPolicy, TrackerRegistry, VerifyReport,
+        crashcheck, doctor, merge_directory, merge_directory_with_threads, quarantine_tampered,
+        recover_all, repairable_paths, scrub_directory, verify_directory, BreakerState,
+        CrashcheckConfig, CrashcheckReport, DoctorReport, FileCheck, FileVerdict, OverloadPolicy,
+        ProvIoApi, ProvIoConfig, ProvIoVol, ProvQueryEngine, ProvenanceStore, RankCrash,
+        RecoveryOutcome, RetryPolicy, RunReport, ScrubReport, SerializationPolicy,
+        TrackerRegistry, VerifyReport,
     };
     pub use provio_hdf5::{Data, Dataspace, Datatype, Hyperslab, H5};
     pub use provio_hpcfs::{
-        CorruptKind, FaultOp, FaultPlan, FaultRule, FileSystem, FsSession, LustreConfig,
-        OpenFlags, TamperKind,
+        enumerate_crash_states, reconstruct, CorruptKind, CrashState, CrashVariant, FaultOp,
+        FaultPlan, FaultRule, FileSystem, FsSession, LustreConfig, OpTrace, OpenFlags, TamperKind,
     };
     pub use provio_model::{
         ActivityClass, AgentClass, ClassSelector, EntityClass, ExtensibleClass, Relation,

@@ -252,6 +252,7 @@ fn wal_ablation_bounds_crashed_rank_loss_to_the_group_commit_size() {
             .with_retry(RetryPolicy {
                 max_attempts: 1,
                 backoff_ns: 0,
+                ..RetryPolicy::default()
             })
             .with_wal(wal, wal_group)
             .shared()
@@ -337,6 +338,7 @@ fn transient_flush_failures_trip_the_breaker_without_losing_triples() {
         .with_retry(RetryPolicy {
             max_attempts: 1,
             backoff_ns: 0,
+            ..RetryPolicy::default()
         })
         .with_breaker(2, 10_000_000_000) // trip after 2 failures, 10s backoff
         .shared();
