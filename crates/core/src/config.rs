@@ -182,6 +182,28 @@ pub struct ProvIoConfig {
     /// Records per WAL group commit (`[store] wal_group`; must be ≥ 1).
     /// 1 = commit every record (strongest bound, highest overhead).
     pub wal_group: u32,
+    /// Stream flushed batches to a live aggregator over the simulated
+    /// interconnect (`[net] net`). Delivery is at-least-once (ack/timeout
+    /// with the store's decorrelated-jitter backoff) and the aggregator
+    /// dedups by (rank, seq) watermark, so a lossy fabric costs retries,
+    /// never correctness. Requires `wal`: an ack is only issued for
+    /// records already journal-durable on the rank, which is what lets
+    /// an aggregator crash re-sync from the rank-local WAL/segments with
+    /// zero acked-record loss. `false` (the default) keeps the post-hoc
+    /// merge-only collection of earlier revisions.
+    pub net: bool,
+    /// Virtual nanoseconds a rank-side client waits for an ack before
+    /// retransmitting (`[net] net_timeout_ns`; must be ≥ 1 — a zero
+    /// timeout would spin the retry loop without ever advancing the
+    /// virtual clock past a partition window).
+    pub net_timeout_ns: u64,
+    /// Bound on the rank-side send buffer, in batches (`[net]
+    /// net_buffer`; 0 = unbounded). When the buffer is full the
+    /// `overload_policy` decides: `block` applies backpressure (the rank
+    /// pumps the fabric until space frees), `shed` drops the new batch
+    /// from the *stream only* — it stays in the durable store, so the
+    /// post-crash resync still converges.
+    pub net_buffer: u64,
     /// Maintain XOR parity over committed artifacts (`[store] parity`):
     /// every `parity_group` commits the store seals a
     /// `<snapshot>.pNNNNNN.par` file from which `scrub` can reconstruct
@@ -240,6 +262,17 @@ pub const DEFAULT_BREAKER_BACKOFF_NS: u64 = 100_000_000;
 /// burst of records, large enough to amortize the journal append.
 pub const DEFAULT_WAL_GROUP: u32 = 64;
 
+/// Default ack timeout for the streaming net client, in virtual ns (see
+/// [`ProvIoConfig::net_timeout_ns`]): 10 ms of modeled time — several
+/// round trips on the modeled fabric, short against partition episodes.
+pub const DEFAULT_NET_TIMEOUT_NS: u64 = 10_000_000;
+
+/// Default rank-side send-buffer bound, in batches (see
+/// [`ProvIoConfig::net_buffer`]). 64 in-flight batches absorb a healthy
+/// fabric's jitter while keeping a partitioned rank's buffered memory
+/// bounded.
+pub const DEFAULT_NET_BUFFER: u64 = 64;
+
 /// Default manifest HMAC key (see [`ProvIoConfig::manifest_key`]): a
 /// published constant, so signatures made with it prove integrity but not
 /// authenticity.
@@ -271,6 +304,9 @@ impl Default for ProvIoConfig {
             checksum_format: false,
             wal: false,
             wal_group: DEFAULT_WAL_GROUP,
+            net: false,
+            net_timeout_ns: DEFAULT_NET_TIMEOUT_NS,
+            net_buffer: DEFAULT_NET_BUFFER,
             parity: false,
             parity_group: DEFAULT_PARITY_GROUP,
             merge_threads: 0,
@@ -369,6 +405,23 @@ impl ProvIoConfig {
         self
     }
 
+    /// Enable live streaming to an aggregator with the given ack timeout
+    /// (`timeout_ns` is clamped up to 1; see [`ProvIoConfig::net`]).
+    /// Streaming rides on the journal, so callers should also arm `wal`
+    /// — `from_ini` rejects the combination outright.
+    pub fn with_net(mut self, enabled: bool, timeout_ns: u64) -> Self {
+        self.net = enabled;
+        self.net_timeout_ns = timeout_ns.max(1);
+        self
+    }
+
+    /// Bound the rank-side send buffer, in batches (0 = unbounded; see
+    /// [`ProvIoConfig::net_buffer`]).
+    pub fn with_net_buffer(mut self, batches: u64) -> Self {
+        self.net_buffer = batches;
+        self
+    }
+
     /// Enable parity protection with the given group width (`group` is
     /// clamped up to 1; see [`ProvIoConfig::parity_group`]). Parity is
     /// only meaningful over framed commits, so callers should also arm
@@ -422,6 +475,10 @@ impl ProvIoConfig {
     /// `checksum_format` (`true`/`false`, framed checksummed store files),
     /// `wal` (`true`/`false`, per-process write-ahead journal),
     /// `wal_group` (`<n>` records per WAL group commit, must be ≥ 1),
+    /// `net` (`true`/`false`, stream flushed batches to a live
+    /// aggregator; requires `wal`), `net_timeout_ns` (`<n>` virtual ns
+    /// before retransmit, must be ≥ 1), `net_buffer` (`<n>` batches of
+    /// rank-side send buffer, 0 = unbounded),
     /// `parity` (`true`/`false`, XOR parity over committed artifacts;
     /// requires `checksum_format`), `parity_group` (`<n>` commits per
     /// parity group, must be ≥ 1), `merge_threads` (`<n>` merge workers,
@@ -517,6 +574,27 @@ impl ProvIoConfig {
                             lineno + 1
                         ));
                     }
+                }
+                "net" => {
+                    cfg.net = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad bool", lineno + 1))?
+                }
+                "net_timeout_ns" => {
+                    cfg.net_timeout_ns = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad integer", lineno + 1))?;
+                    if cfg.net_timeout_ns == 0 {
+                        return Err(format!(
+                            "line {}: net_timeout_ns must be >= 1",
+                            lineno + 1
+                        ));
+                    }
+                }
+                "net_buffer" => {
+                    cfg.net_buffer = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad integer", lineno + 1))?
                 }
                 "parity" => {
                     cfg.parity = value
@@ -615,6 +693,13 @@ impl ProvIoConfig {
         // configuration error, not a silent no-op.
         if cfg.parity && !cfg.checksum_format {
             return Err("parity requires checksum_format = true".to_string());
+        }
+        // Streaming acks promise "journal-durable on the rank"; without
+        // the WAL there is nothing for an aggregator-crash resync to
+        // replay above the last flush, so acked records could silently
+        // vanish — a configuration error, not a weaker mode.
+        if cfg.net && !cfg.wal {
+            return Err("net requires wal = true (resync replays the journal)".to_string());
         }
         Ok(cfg)
     }
@@ -916,6 +1001,58 @@ mod tests {
         assert!(err.contains("requires checksum_format"), "err: {err}");
         // A bare parity_group (tuning a disabled feature) stays legal.
         assert!(ProvIoConfig::from_ini("parity_group = 5\n").is_ok());
+    }
+
+    #[test]
+    fn net_knobs_default_builder_and_ini() {
+        let c = ProvIoConfig::default();
+        assert!(!c.net, "post-hoc merge only unless asked");
+        assert_eq!(c.net_timeout_ns, DEFAULT_NET_TIMEOUT_NS);
+        assert_eq!(c.net_buffer, DEFAULT_NET_BUFFER);
+
+        let c = ProvIoConfig::default()
+            .with_net(true, 5_000_000)
+            .with_net_buffer(8);
+        assert!(c.net);
+        assert_eq!(c.net_timeout_ns, 5_000_000);
+        assert_eq!(c.net_buffer, 8);
+        // The builder clamps a nonsensical timeout instead of storing 0.
+        assert_eq!(ProvIoConfig::default().with_net(true, 0).net_timeout_ns, 1);
+
+        let c = ProvIoConfig::from_ini(
+            "[net]\nwal = true\nnet = true\nnet_timeout_ns = 2000000\nnet_buffer = 4\n",
+        )
+        .unwrap();
+        assert!(c.net && c.wal);
+        assert_eq!(c.net_timeout_ns, 2_000_000);
+        assert_eq!(c.net_buffer, 4);
+
+        // Round-trip of just `net` keeps the default timeout and buffer.
+        let c = ProvIoConfig::from_ini("wal = true\nnet = true\n").unwrap();
+        assert_eq!(c.net_timeout_ns, DEFAULT_NET_TIMEOUT_NS);
+        assert_eq!(c.net_buffer, DEFAULT_NET_BUFFER);
+
+        assert!(ProvIoConfig::from_ini("net = maybe").is_err());
+        assert!(ProvIoConfig::from_ini("net_timeout_ns = soon").is_err());
+        assert!(ProvIoConfig::from_ini("net_buffer = lots").is_err());
+    }
+
+    #[test]
+    fn net_timeout_zero_is_rejected() {
+        let err =
+            ProvIoConfig::from_ini("wal = true\nnet = true\nnet_timeout_ns = 0\n").unwrap_err();
+        assert!(err.contains("net_timeout_ns must be >= 1"), "err: {err}");
+    }
+
+    #[test]
+    fn net_without_wal_is_rejected() {
+        // In either key order: cross-key validation runs after the loop.
+        let err = ProvIoConfig::from_ini("net = true\n").unwrap_err();
+        assert!(err.contains("net requires wal"), "err: {err}");
+        let err = ProvIoConfig::from_ini("net = true\nwal = false\n").unwrap_err();
+        assert!(err.contains("net requires wal"), "err: {err}");
+        // Tuning knobs of a disabled feature stay legal without `wal`.
+        assert!(ProvIoConfig::from_ini("net_timeout_ns = 5\nnet_buffer = 2\n").is_ok());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //!    visualization.
 
 pub mod api;
+pub mod collect;
 pub mod config;
 pub mod connector;
 pub mod crashcheck;
@@ -41,6 +42,7 @@ pub mod verify;
 pub mod wrapper;
 
 pub use api::ProvIoApi;
+pub use collect::{Collector, DeliveryReport, NetClient, NetStats};
 pub use config::{OverloadPolicy, ProvIoConfig, RdfFormat, RetryPolicy, SerializationPolicy};
 pub use connector::ProvIoVol;
 pub use crashcheck::{
@@ -53,7 +55,7 @@ pub use recover::{recover_all, RecoveryOutcome};
 pub use report::{doctor, DoctorReport, RankCrash, RunReport};
 pub use scrub::{repairable_paths, scrub_directory, ScrubReport};
 pub use store::{BreakerState, ProvenanceStore};
-pub use tracker::{IoEvent, ObjectDesc, ProvTracker, TrackerRegistry};
+pub use tracker::{IoEvent, ObjectDesc, ProvTracker, TrackSummary, TrackerRegistry};
 pub use verify::{
     quarantine_tampered, verify_directory, FileCheck, FileVerdict, VerifyReport,
 };

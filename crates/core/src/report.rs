@@ -23,8 +23,10 @@ use provio_model::{Guid, NodeClass, Relation};
 use provio_mpi::RankOutcome;
 use provio_rdf::{ns, Graph};
 
+use crate::collect::DeliveryReport;
 use crate::merge::MergeReport;
 use crate::scrub::ScrubReport;
+use crate::tracker::TrackSummary;
 use crate::verify::{FileVerdict, VerifyReport};
 
 /// One crashed rank, as witnessed by a superstep.
@@ -96,6 +98,40 @@ pub struct RunReport {
     /// Member paths lost beyond parity tolerance: the merge-time loss
     /// accounting (salvage, quarantine, truncation) stands for these.
     pub scrub_unrecoverable: usize,
+    /// Store commit attempts retried after a transient failure, summed
+    /// over ranks (from [`TrackSummary::flush_retries`]). Non-zero with
+    /// `degraded == false` means the retry policy absorbed real trouble.
+    pub flush_retries: u64,
+    /// `true` once per-rank summaries carrying streaming counters were
+    /// attached (the run collected live, not just post-hoc).
+    pub streamed: bool,
+    /// Batches ranks offered to the streaming pipeline, summed.
+    pub net_sent: u64,
+    /// Batches the collector acked, summed.
+    pub net_acked: u64,
+    /// Retransmissions after timeouts, summed over ranks.
+    pub net_retries: u64,
+    /// Batches shed from the stream at full send buffers (still durable
+    /// in the rank stores — a stream gap, not provenance loss).
+    pub net_shed_batches: u64,
+    /// Batches still unacked when their rank finished (e.g. run ended
+    /// inside a partition). Every gap is accounted here: streamed-view
+    /// consumers know exactly how many batches only the durable stores
+    /// hold.
+    pub net_unacked: u64,
+    /// Batches the collector received (every copy off the fabric).
+    pub delivered_batches: u64,
+    /// Redeliveries the (rank, seq) watermark dropped — duplicates and
+    /// retransmissions, acked but never re-inserted.
+    pub duplicates_dropped: u64,
+    /// Fresh arrivals that overtook a predecessor on the fabric.
+    pub out_of_order_batches: u64,
+    /// Aggregator crashes during the run.
+    pub collector_crashes: u64,
+    /// Resyncs the aggregator performed from the rank-durable stores.
+    pub resyncs: u64,
+    /// Triples a resync recovered that streaming had not yet delivered.
+    pub resync_triples: u64,
 }
 
 impl RunReport {
@@ -160,6 +196,31 @@ impl RunReport {
         self.scrub_unrecoverable = report.unrecoverable.len();
     }
 
+    /// Attach per-rank tracking summaries: flush-retry counts always,
+    /// plus the sender-side delivery counters when the run streamed.
+    pub fn attach_summaries(&mut self, summaries: &[(u32, TrackSummary)]) {
+        self.flush_retries = summaries.iter().map(|(_, s)| s.flush_retries).sum();
+        self.net_sent = summaries.iter().map(|(_, s)| s.net_sent).sum();
+        self.net_acked = summaries.iter().map(|(_, s)| s.net_acked).sum();
+        self.net_retries = summaries.iter().map(|(_, s)| s.net_retries).sum();
+        self.net_shed_batches = summaries.iter().map(|(_, s)| s.net_shed_batches).sum();
+        self.net_unacked = summaries.iter().map(|(_, s)| s.net_unacked).sum();
+        if self.net_sent > 0 {
+            self.streamed = true;
+        }
+    }
+
+    /// Attach the aggregator's view of a streamed run.
+    pub fn attach_delivery(&mut self, report: &DeliveryReport) {
+        self.streamed = true;
+        self.delivered_batches = report.received_batches;
+        self.duplicates_dropped = report.duplicate_batches;
+        self.out_of_order_batches = report.out_of_order_batches;
+        self.collector_crashes = report.crashes;
+        self.resyncs = report.resyncs;
+        self.resync_triples = report.resync_triples;
+    }
+
     /// Ranks that completed every recorded superstep.
     pub fn surviving_ranks(&self) -> Vec<u32> {
         let dead: BTreeSet<u32> = self.crashed.iter().map(|c| c.rank).collect();
@@ -218,6 +279,28 @@ impl fmt::Display for RunReport {
             self.chain_breaks,
             self.wal_tails_truncated,
         )?;
+        if self.flush_retries > 0 {
+            write!(f, ", {} flush retries absorbed", self.flush_retries)?;
+        }
+        if self.streamed {
+            write!(
+                f,
+                "; stream: {}/{} batches acked, {} retries, {} duplicates \
+                 dropped, {} out of order, {} shed, {} unacked (durable \
+                 store owns the gap), {} collector crash(es), {} resync(s) \
+                 recovering {} triples",
+                self.net_acked,
+                self.net_sent,
+                self.net_retries,
+                self.duplicates_dropped,
+                self.out_of_order_batches,
+                self.net_shed_batches,
+                self.net_unacked,
+                self.collector_crashes,
+                self.resyncs,
+                self.resync_triples,
+            )?;
+        }
         if self.scrub_repaired_files > 0 || self.scrub_unrecoverable > 0 {
             write!(
                 f,
@@ -561,6 +644,67 @@ mod tests {
         let line = r.to_string();
         assert!(line.contains("7 replayed"), "display: {line}");
         assert!(line.contains("1 journal tails truncated"), "display: {line}");
+    }
+
+    #[test]
+    fn flush_retries_and_delivery_are_reported() {
+        let mut r = RunReport::new(2);
+        r.attach_merge(2, &merge_report(2, 50));
+        // No streaming, no retries: the run line stays quiet about both.
+        let line = r.to_string();
+        assert!(!line.contains("flush retries"), "{line}");
+        assert!(!line.contains("stream:"), "{line}");
+
+        // Summaries carrying retry + delivery counters light them up.
+        let mut s = TrackSummary {
+            events: 1,
+            triples: 10,
+            store_bytes: 100,
+            store_path: "/provio/prov_p0.nt".into(),
+            degraded: false,
+            last_error: None,
+            dropped_flushes: 0,
+            shed_batches: 0,
+            shed_triples: 0,
+            breaker_trips: 0,
+            breaker_skipped: 0,
+            breaker_state: "closed".into(),
+            wal_records: 10,
+            wal_commits: 2,
+            wal_recycles: 1,
+            flush_retries: 3,
+            net_sent: 5,
+            net_acked: 4,
+            net_retries: 7,
+            net_shed_batches: 1,
+            net_shed_triples: 2,
+            net_unacked: 1,
+        };
+        let mut r2 = RunReport::new(2);
+        r2.attach_merge(2, &merge_report(2, 50));
+        r2.attach_summaries(&[(0, s.clone()), (1, { s.flush_retries = 1; s })]);
+        assert_eq!(r2.flush_retries, 4);
+        assert_eq!(r2.net_sent, 10);
+        assert_eq!(r2.net_unacked, 2);
+        assert!(r2.streamed);
+        r2.attach_delivery(&DeliveryReport {
+            received_batches: 12,
+            duplicate_batches: 3,
+            out_of_order_batches: 1,
+            refused_batches: 2,
+            streamed_triples: 40,
+            live_triples: 50,
+            crashes: 1,
+            resyncs: 1,
+            resync_triples: 10,
+        });
+        let line = r2.to_string();
+        assert!(line.contains("4 flush retries absorbed"), "{line}");
+        assert!(line.contains("8/10 batches acked"), "{line}");
+        assert!(line.contains("3 duplicates dropped"), "{line}");
+        assert!(line.contains("2 unacked"), "{line}");
+        assert!(line.contains("1 collector crash(es)"), "{line}");
+        assert!(line.contains("recovering 10 triples"), "{line}");
     }
 
     #[test]

@@ -331,6 +331,11 @@ struct IoState {
     /// further writes are attempted (recovery belongs to the merge layer).
     crashed: bool,
     dropped_flushes: u64,
+    /// Commit attempts that failed transiently and were retried (whether
+    /// or not the flush eventually succeeded). Without this a retried
+    /// flush that recovers is invisible in the summary — `degraded`
+    /// only flips when the whole policy is exhausted.
+    flush_retries: u64,
     last_error: Option<FsError>,
     /// Delta-segment protocol on (off = legacy full rewrite per flush).
     delta: bool,
@@ -557,6 +562,7 @@ impl IoState {
                     failures += 1;
                     self.last_error = Some(e);
                     if e.is_transient() && failures < self.retry.max_attempts {
+                        self.flush_retries += 1;
                         // Jitter draws from the store's own seeded stream,
                         // so ranks tripped by one shared episode spread out
                         // instead of retrying in lockstep.
@@ -1137,6 +1143,7 @@ impl ProvenanceStore {
             degraded: false,
             crashed: false,
             dropped_flushes: 0,
+            flush_retries: 0,
             last_error: None,
             delta: true,
             compact_every: DEFAULT_COMPACT_EVERY,
@@ -1381,6 +1388,29 @@ impl ProvenanceStore {
     /// Flushes dropped after retry exhaustion, permanent error, or crash.
     pub fn dropped_flushes(&self) -> u64 {
         self.inner.io.lock().dropped_flushes
+    }
+
+    /// Commit attempts retried after a transient failure — visible even
+    /// when every flush eventually succeeded and `degraded` never flipped.
+    pub fn flush_retries(&self) -> u64 {
+        self.inner.io.lock().flush_retries
+    }
+
+    /// Force the journal tail out regardless of the group boundary, so
+    /// every record pushed so far is journal-durable. The streaming layer
+    /// calls this before offering a batch to the collector: an ack must
+    /// never reference data only this process held, or an aggregator
+    /// crash could lose acked records that resync cannot replay. No-op
+    /// with the journal off; async stores drain their intake queue first.
+    pub fn wal_sync(&self) {
+        if !self.wal_enabled {
+            return;
+        }
+        if self.async_store {
+            self.drain();
+        }
+        let mut io = self.inner.io.lock();
+        io.wal_commit(true);
     }
 
     /// Current size of the committed snapshot on the parallel file system

@@ -8,6 +8,7 @@
 //! [`ChargeGuard`] that adds its measured CPU time to the process's virtual
 //! clock — that is the "tracking overhead" the experiments report.
 
+use crate::collect::NetClient;
 use crate::config::{ProvIoConfig, SerializationPolicy};
 use crate::store::ProvenanceStore;
 use parking_lot::Mutex;
@@ -121,6 +122,25 @@ pub struct TrackSummary {
     pub wal_commits: u64,
     /// Journal generations recycled after a successful flush.
     pub wal_recycles: u64,
+    /// Store commit attempts retried after a transient failure. Before
+    /// this counter a retried flush that recovered was invisible — only
+    /// policy exhaustion flipped `degraded`.
+    pub flush_retries: u64,
+    /// Batches offered to the streaming pipeline (0 when not streaming).
+    pub net_sent: u64,
+    /// Batches the collector acked.
+    pub net_acked: u64,
+    /// Retransmissions after timeouts (loss, lost acks, partitions,
+    /// collector crashes).
+    pub net_retries: u64,
+    /// Batches the `Shed` policy dropped from the stream at a full send
+    /// buffer (still durable in the store, so not lost from the merge).
+    pub net_shed_batches: u64,
+    /// Triples inside those shed batches.
+    pub net_shed_triples: u64,
+    /// Batches still unacked when the rank finished (e.g. the run ended
+    /// inside a partition) — the stream's gap, owned by the store.
+    pub net_unacked: u64,
 }
 
 /// Per-process provenance capture state.
@@ -136,7 +156,18 @@ pub struct ProvTracker {
     /// Cached result of the first `finish()` call, making later calls
     /// idempotent (no re-flush, no double counting).
     finished: Mutex<Option<TrackSummary>>,
+    /// Streaming client, when the run collects live (`net` knob + an
+    /// armed collector). Batches are offered to it only after
+    /// [`ProvenanceStore::wal_sync`], so an ack always references
+    /// journal-durable records.
+    net: Mutex<Option<Arc<NetClient>>>,
 }
+
+/// Pump rounds the final drain gives a struggling fabric before handing
+/// the leftovers to the durable store (each round charges at least one
+/// full timeout per buffered batch, so bounded partitions heal well
+/// within it).
+const NET_DRAIN_ROUNDS: u32 = 64;
 
 #[derive(Default)]
 struct TrackState {
@@ -195,6 +226,7 @@ impl ProvTracker {
             state: Mutex::new(TrackState::default()),
             events: std::sync::atomic::AtomicU64::new(0),
             finished: Mutex::new(None),
+            net: Mutex::new(None),
         });
         tracker.record_agents(user, program, pid);
         tracker
@@ -210,6 +242,22 @@ impl ProvTracker {
 
     pub fn store(&self) -> &ProvenanceStore {
         &self.store
+    }
+
+    /// Arm live streaming: every flushed batch is journal-synced and
+    /// then offered to `client`. First attachment wins — a tracker
+    /// streams to one collector for its whole life, so sequence numbers
+    /// stay meaningful.
+    pub fn attach_net(&self, client: Arc<NetClient>) {
+        let mut net = self.net.lock();
+        if net.is_none() {
+            *net = Some(client);
+        }
+    }
+
+    /// The streaming client, when one is attached.
+    pub fn net(&self) -> Option<Arc<NetClient>> {
+        self.net.lock().clone()
     }
 
     pub fn program_guid(&self) -> &Guid {
@@ -308,6 +356,8 @@ impl ProvTracker {
             }
         };
         if let Some(ts) = drained {
+            let net = self.net.lock().clone();
+            let streamed = net.as_ref().map(|_| ts.clone());
             self.store.push(ts, Some(&self.clock));
             if matches!(self.config.policy, SerializationPolicy::EveryRecords(_)) {
                 self.store.flush(if self.config.async_store {
@@ -315,6 +365,12 @@ impl ProvTracker {
                 } else {
                     Some(&self.clock)
                 });
+            }
+            if let (Some(client), Some(batch)) = (net, streamed) {
+                // Journal first, stream second: the collector's ack must
+                // never reference records only this process held.
+                self.store.wal_sync();
+                client.send(batch);
             }
         }
     }
@@ -536,14 +592,24 @@ impl ProvTracker {
             st.pending_records = 0;
             std::mem::take(&mut st.pending)
         };
+        let net = self.net.lock().clone();
         if !drained.is_empty() {
+            let streamed = net.as_ref().map(|_| drained.clone());
             self.store.push(drained, Some(&self.clock));
+            if let (Some(client), Some(batch)) = (net.as_ref(), streamed) {
+                self.store.wal_sync();
+                client.send(batch);
+            }
         }
         let store_bytes = self.store.finish(if self.config.async_store {
             None
         } else {
             Some(&self.clock)
         });
+        // Final drain: give buffered batches a bounded budget to reach
+        // the collector. Whatever stays unacked is accounted below and
+        // still durable on disk — resync or the post-hoc merge owns it.
+        let net_stats = net.map(|client| client.drain(NET_DRAIN_ROUNDS));
         let st = self.state.lock();
         let summary = TrackSummary {
             events: self.event_count(),
@@ -561,6 +627,13 @@ impl ProvTracker {
             wal_records: self.store.wal_records(),
             wal_commits: self.store.wal_commits(),
             wal_recycles: self.store.wal_recycles(),
+            flush_retries: self.store.flush_retries(),
+            net_sent: net_stats.map_or(0, |s| s.sent_batches),
+            net_acked: net_stats.map_or(0, |s| s.acked_batches),
+            net_retries: net_stats.map_or(0, |s| s.retries),
+            net_shed_batches: net_stats.map_or(0, |s| s.shed_batches),
+            net_shed_triples: net_stats.map_or(0, |s| s.shed_triples),
+            net_unacked: net_stats.map_or(0, |s| s.unacked_batches),
         };
         *finished = Some(summary.clone());
         summary

@@ -57,6 +57,23 @@ impl CommModel {
         self.allreduce(ranks, bytes)
     }
 
+    /// Sender-side cost of one point-to-point message of `bytes`: the
+    /// per-call software overhead plus a single hop's latency and
+    /// transfer time — no tree, unlike the collectives. The streaming
+    /// collection layer charges this per send attempt, so every retry
+    /// over a lossy fabric costs virtual time.
+    pub fn send(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos(self.call_overhead_ns).saturating_add(self.link.cost(bytes))
+    }
+
+    /// Receiver-side cost of matching a point-to-point message: the same
+    /// software overhead plus the metadata hop for the ack/completion
+    /// handshake. The payload's wire time is charged to the sender by
+    /// [`Self::send`], not double-charged here.
+    pub fn recv(&self) -> SimDuration {
+        SimDuration::from_nanos(self.call_overhead_ns).saturating_add(self.link.meta_cost())
+    }
+
     /// Cost of gathering `bytes_per_rank` to the root.
     pub fn gather(&self, ranks: u32, bytes_per_rank: u64) -> SimDuration {
         let mut d = SimDuration::from_nanos(self.call_overhead_ns);
@@ -112,5 +129,25 @@ mod tests {
         let m = CommModel::default();
         assert_eq!(m.barrier(1).as_nanos(), m.call_overhead_ns);
         assert_eq!(m.allreduce(1, 1 << 20).as_nanos(), m.call_overhead_ns);
+    }
+
+    #[test]
+    fn send_is_one_hop_plus_overhead() {
+        let m = CommModel::default();
+        assert_eq!(
+            m.send(1 << 20).as_nanos(),
+            m.call_overhead_ns + m.link.cost(1 << 20).as_nanos()
+        );
+        assert!(m.send(1 << 20) > m.send(8));
+    }
+
+    #[test]
+    fn recv_charges_the_ack_hop_not_the_payload() {
+        let m = CommModel::default();
+        assert_eq!(
+            m.recv().as_nanos(),
+            m.call_overhead_ns + m.link.meta_cost().as_nanos()
+        );
+        assert!(m.recv() < m.send(1 << 20));
     }
 }

@@ -13,15 +13,19 @@
 //!   the Lustre model in `provio-hpcfs`.
 //! * [`DetRng`] — deterministic, splittable random streams so every
 //!   experiment is reproducible run-to-run.
+//! * [`NetPlan`] — seeded interconnect faults (loss, duplication,
+//!   reordering, delay, partitions) for the streaming collection layer.
 
 pub mod clock;
 pub mod cost;
+pub mod net;
 pub mod panics;
 pub mod rng;
 pub mod timer;
 
 pub use clock::{SimDuration, SimTime, VirtualClock};
 pub use cost::LatencyBandwidth;
+pub use net::{NetLink, NetLinkStats, NetPlan, PartitionEpisode, SendFate, NET_FAULT_STREAM};
 pub use panics::catch_quiet;
 pub use rng::DetRng;
 pub use timer::ChargeGuard;

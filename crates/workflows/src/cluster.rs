@@ -1,10 +1,10 @@
 //! Shared experiment rig: file system + VOL stack + tracker registry.
 
-use provio::{ProvIoConfig, ProvIoVol, TrackerRegistry};
+use provio::{Collector, ProvIoConfig, ProvIoVol, TrackerRegistry};
 use provio_hdf5::{NativeVol, VolConnector, VolRegistry, H5};
 use provio_hpcfs::{Dispatcher, FileSystem, FsSession, LustreConfig};
 use provio_simrt::VirtualClock;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One simulated "machine": a Lustre-backed file system with a native VOL
 /// and a PROV-IO connector stacked on top, plus the pid→tracker registry
@@ -15,6 +15,11 @@ pub struct Cluster {
     pub provio_vol: Arc<ProvIoVol>,
     pub registry: Arc<TrackerRegistry>,
     pub vols: VolRegistry,
+    /// Optional streaming aggregator. When armed (via [`Cluster::stream_to`])
+    /// and the config enables `net`, every newly attached tracker gets a
+    /// [`provio::NetClient`] so flushed batches stream to the collector live
+    /// instead of only landing in per-rank files.
+    collector: Mutex<Option<Arc<Collector>>>,
 }
 
 impl Cluster {
@@ -36,7 +41,22 @@ impl Cluster {
             provio_vol,
             registry,
             vols,
+            collector: Mutex::new(None),
         }
+    }
+
+    /// Arm live streaming: trackers attached after this call (by a config
+    /// with `net = true`) send their flushed batches to `collector` over the
+    /// simulated interconnect. The rank-local store stays authoritative —
+    /// the collector is a live mirror that [`Collector::resync`] can rebuild
+    /// from the rank files after a crash.
+    pub fn stream_to(&self, collector: Arc<Collector>) {
+        *self.collector.lock().unwrap() = Some(collector);
+    }
+
+    /// The armed collector, if any.
+    pub fn collector(&self) -> Option<Arc<Collector>> {
+        self.collector.lock().unwrap().clone()
     }
 
     /// A process session on this cluster. `tracked` processes attach a
@@ -57,7 +77,7 @@ impl Cluster {
             pid,
             user,
             program,
-            clock,
+            clock.clone(),
             dispatcher,
         ));
         let vol: Arc<dyn VolConnector> = match provio_cfg {
@@ -69,6 +89,13 @@ impl Cluster {
                         &session,
                         &self.registry,
                     );
+                    if cfg.net {
+                        if let (Some(collector), Some(tracker)) =
+                            (self.collector(), self.registry.get(pid))
+                        {
+                            tracker.attach_net(collector.client(pid, clock, cfg.as_ref()));
+                        }
+                    }
                 } else {
                     // The pid's tracker already exists (a later superstep of
                     // the same rank); only hook this session's dispatcher.
@@ -130,6 +157,54 @@ mod tests {
         let (bytes, files) = c.prov_usage("/provio");
         assert!(bytes > 0);
         assert_eq!(files, 1);
+    }
+
+    #[test]
+    fn streamed_process_mirrors_the_store() {
+        let c = Cluster::new();
+        let collector = Collector::new(
+            Arc::clone(&c.fs),
+            "/provio",
+            provio_simrt::NetPlan::ideal(7),
+        );
+        c.stream_to(Arc::clone(&collector));
+        let cfg = ProvIoConfig::default()
+            .with_wal(true, 8)
+            .with_net(true, 1_000_000)
+            .shared();
+        let (s, h5) = c.process(1, "alice", "stream", VirtualClock::new(), Some(&cfg));
+        let f = h5.create_file("/x.h5").unwrap();
+        h5.close_file(f).unwrap();
+        s.write_file("/notes.txt", b"hi").unwrap();
+        let summaries = c.registry.finish_all();
+        assert!(summaries[0].1.net_sent > 0, "tracker streamed its batches");
+        assert_eq!(summaries[0].1.net_unacked, 0, "ideal fabric acks everything");
+        let (ground, _) = provio::merge_directory(&c.fs, "/provio");
+        assert!(collector.triples() > 0);
+        assert_eq!(
+            provio_rdf::ntriples::sorted_graph_lines(&collector.graph()),
+            provio_rdf::ntriples::sorted_graph_lines(&ground),
+            "live stream converged to the post-hoc merge"
+        );
+    }
+
+    #[test]
+    fn streaming_is_inert_without_net_config() {
+        let c = Cluster::new();
+        let collector = Collector::new(
+            Arc::clone(&c.fs),
+            "/provio",
+            provio_simrt::NetPlan::ideal(7),
+        );
+        c.stream_to(Arc::clone(&collector));
+        // Config has wal but not net: the collector must stay empty.
+        let cfg = ProvIoConfig::default().with_wal(true, 8).shared();
+        let (_s, h5) = c.process(3, "carol", "quiet-wire", VirtualClock::new(), Some(&cfg));
+        let f = h5.create_file("/q.h5").unwrap();
+        h5.close_file(f).unwrap();
+        let summaries = c.registry.finish_all();
+        assert_eq!(summaries[0].1.net_sent, 0);
+        assert_eq!(collector.triples(), 0);
     }
 
     #[test]

@@ -406,6 +406,48 @@ mod tests {
     }
 
     #[test]
+    fn streamed_run_converges_to_post_hoc_merge() {
+        use std::sync::Arc;
+        let cluster = Cluster::new();
+        // A hostile fabric: 25% loss/dup/reorder on every link. At-least-once
+        // delivery plus (rank, seq) dedup must still converge the live graph
+        // to exactly the post-hoc merge of the rank files.
+        let collector = provio::Collector::new(
+            Arc::clone(&cluster.fs),
+            "/h5bench/provio",
+            provio_simrt::NetPlan::hostile(11, 0.25),
+        );
+        cluster.stream_to(Arc::clone(&collector));
+        let out = run(
+            &cluster,
+            &H5benchParams {
+                ranks: 2,
+                pattern: IoPattern::WriteRead,
+                steps: 2,
+                particles_per_rank: 1 << 10,
+                blocks: 2,
+                compute_per_step: SimDuration::from_secs(25),
+                seed: 1,
+                mode: ProvMode::provio(
+                    ProvIoConfig::default()
+                        .with_selector(ClassSelector::h5bench_scenario2())
+                        .with_wal(true, 16)
+                        .with_net(true, 1_000_000),
+                ),
+            },
+        );
+        assert!(out.metrics.tracked_events > 0);
+        let report = collector.report();
+        assert!(report.received_batches > 0, "stream actually flowed");
+        let (ground, _) = provio::merge_directory(&cluster.fs, "/h5bench/provio");
+        assert_eq!(
+            provio_rdf::ntriples::sorted_graph_lines(&collector.graph()),
+            provio_rdf::ntriples::sorted_graph_lines(&ground),
+            "lossy fabric must not change the converged graph"
+        );
+    }
+
+    #[test]
     fn shared_file_data_is_complete_after_run() {
         let (cluster, _) = small(4, IoPattern::WriteRead, ProvMode::Off);
         // All timestep datasets exist with the full extent.

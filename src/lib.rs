@@ -69,10 +69,10 @@ pub mod prelude {
     pub use provio::{
         crashcheck, doctor, merge_directory, merge_directory_with_threads, quarantine_tampered,
         recover_all, repairable_paths, scrub_directory, verify_directory, BreakerState,
-        CrashcheckConfig, CrashcheckReport, DoctorReport, FileCheck, FileVerdict, OverloadPolicy,
-        ProvIoApi, ProvIoConfig, ProvIoVol, ProvQueryEngine, ProvenanceStore, RankCrash,
-        RecoveryOutcome, RetryPolicy, RunReport, ScrubReport, SerializationPolicy,
-        TrackerRegistry, VerifyReport,
+        Collector, CrashcheckConfig, CrashcheckReport, DeliveryReport, DoctorReport, FileCheck,
+        FileVerdict, NetClient, NetStats, OverloadPolicy, ProvIoApi, ProvIoConfig, ProvIoVol,
+        ProvQueryEngine, ProvenanceStore, RankCrash, RecoveryOutcome, RetryPolicy, RunReport,
+        ScrubReport, SerializationPolicy, TrackSummary, TrackerRegistry, VerifyReport,
     };
     pub use provio_hdf5::{Data, Dataspace, Datatype, Hyperslab, H5};
     pub use provio_hpcfs::{
@@ -82,8 +82,8 @@ pub mod prelude {
     pub use provio_model::{
         ActivityClass, AgentClass, ClassSelector, EntityClass, ExtensibleClass, Relation,
     };
-    pub use provio_mpi::{MpiWorld, RankOutcome};
-    pub use provio_simrt::{SimDuration, VirtualClock};
+    pub use provio_mpi::{CommModel, MpiWorld, RankOutcome};
+    pub use provio_simrt::{NetPlan, PartitionEpisode, SendFate, SimDuration, VirtualClock};
     pub use provio_sparql::Query;
     pub use provio_workflows::{Cluster, ProvMode};
 }
